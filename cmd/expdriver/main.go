@@ -1,0 +1,226 @@
+// Command expdriver regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index). Each figure prints as a text
+// table whose rows/series mirror the paper's plot.
+//
+// Usage:
+//
+//	expdriver -exp fig2                 # one figure
+//	expdriver -exp all -quick           # everything on a reduced pool
+//	expdriver -exp headline -len 100000 # the 17.6%/24% claim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"clustersmt/internal/experiments"
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/policy"
+	"clustersmt/internal/report"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig9|fig10|headline|future|all")
+		traceLen = flag.Int("len", 60000, "trace length per thread (uops)")
+		quick    = flag.Bool("quick", false, "reduced pool (3 type-balanced workloads per category)")
+		cats     = flag.String("categories", "", "comma-separated category subset (default: all)")
+		verbose  = flag.Bool("v", false, "log every simulation")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(*traceLen)
+	if *verbose {
+		r.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	o := experiments.Options{}
+	if *quick {
+		o.MaxPerCategory = 3
+	}
+	if *cats != "" {
+		o.Categories = strings.Split(*cats, ",")
+	}
+
+	start := time.Now()
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig2", func() error { return fig2(r, o) })
+	run("fig3", func() error { return figMetric(r, o, 3) })
+	run("fig4", func() error { return figMetric(r, o, 4) })
+	run("fig5", func() error { return fig5(r, o) })
+	run("fig6", func() error { return fig6(r, o) })
+	run("fig9", func() error { return fig9(r, o) })
+	run("fig10", func() error { return fig10(r, o) })
+	run("headline", func() error { return headline(r, o) })
+	run("future", func() error { return future(r, o) })
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+func seriesTable(title string, cs *experiments.CategorySeries, seriesOrder []string) {
+	header := append([]string{"category"}, seriesOrder...)
+	var rows [][]string
+	for _, cat := range cs.Categories {
+		row := []string{cat}
+		for _, s := range seriesOrder {
+			row = append(row, report.F(cs.Values[s][cat]))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(report.Table(title, header, rows))
+}
+
+func fig2(r *experiments.Runner, o experiments.Options) error {
+	schemes := policy.PaperIQSchemes()
+	cs, err := experiments.Fig2(r, o, schemes, []int{32, 64})
+	if err != nil {
+		return err
+	}
+	var order []string
+	for _, iq := range []int{32, 64} {
+		for _, s := range schemes {
+			order = append(order, fmt.Sprintf("%s/%d", s, iq))
+		}
+	}
+	seriesTable("Figure 2: throughput speedup vs Icount@32 (RF/ROB unbounded)", cs, order)
+	return nil
+}
+
+func figMetric(r *experiments.Runner, o experiments.Options, fig int) error {
+	schemes := policy.PaperIQSchemes()
+	var cs *experiments.CategorySeries
+	var err error
+	var title string
+	if fig == 3 {
+		cs, err = experiments.Fig3(r, o, schemes)
+		title = "Figure 3: inter-cluster copies per retired instruction (IQ=32)"
+	} else {
+		cs, err = experiments.Fig4(r, o, schemes)
+		title = "Figure 4: issue-queue stalls per retired instruction (IQ=32)"
+	}
+	if err != nil {
+		return err
+	}
+	seriesTable(title, cs, schemes)
+	return nil
+}
+
+func fig5(r *experiments.Runner, o experiments.Options) error {
+	schemes := []string{"icount", "cisp", "cssp", "pc"}
+	res, err := experiments.Fig5(r, o, schemes)
+	if err != nil {
+		return err
+	}
+	header := []string{"category", "scheme"}
+	for k := 0; k < metrics.NumImbClasses; k++ {
+		for kind := 0; kind < 2; kind++ {
+			header = append(header, fmt.Sprintf("%d %s", kind, metrics.ImbClass(k)))
+		}
+	}
+	var rows [][]string
+	for _, cat := range res.Categories {
+		for _, s := range schemes {
+			row := []string{cat, s}
+			m := res.Frac[cat][s]
+			for k := 0; k < metrics.NumImbClasses; k++ {
+				for kind := 0; kind < 2; kind++ {
+					row = append(row, report.F(m[k][kind]))
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Println(report.Table("Figure 5: workload imbalance (fraction of issuing cycles; kind 1 = other cluster had a free port)", header, rows))
+	return nil
+}
+
+func fig6(r *experiments.Runner, o experiments.Options) error {
+	schemes := policy.PaperRFSchemes()
+	cs, err := experiments.Fig6(r, o, schemes, []int{64, 128})
+	if err != nil {
+		return err
+	}
+	var order []string
+	for _, rg := range []int{64, 128} {
+		for _, s := range schemes {
+			order = append(order, fmt.Sprintf("%s/%d", s, rg))
+		}
+	}
+	seriesTable("Figure 6: throughput speedup vs Icount@64regs (IQ=32, ROB=128)", cs, order)
+	return nil
+}
+
+func fig9(r *experiments.Runner, o experiments.Options) error {
+	schemes := []string{"cssp", "cssprf", "cisprf", "cdprf"}
+	res, err := experiments.Fig9(r, o, schemes)
+	if err != nil {
+		return err
+	}
+	header := append([]string{"workload"}, schemes...)
+	var rows [][]string
+	for _, wl := range res.Workloads {
+		row := []string{wl}
+		for _, s := range schemes {
+			row = append(row, report.F(res.Speedup[wl][s]))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(report.Table("Figure 9: ISPEC-FSPEC speedups vs Icount (64 regs/cluster)", header, rows))
+	return nil
+}
+
+func fig10(r *experiments.Runner, o experiments.Options) error {
+	schemes := []string{"stall", "flush+", "cssp", "cdprf"}
+	cs, err := experiments.Fig10(r, o, schemes)
+	if err != nil {
+		return err
+	}
+	seriesTable("Figure 10: fairness relative to Icount (64 regs/cluster)", cs, schemes)
+	return nil
+}
+
+func headline(r *experiments.Runner, o experiments.Options) error {
+	h, err := experiments.Headline(r, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table("Headline (paper: CDPRF +17.6% throughput, +24% fairness, up to +40% per category)",
+		[]string{"metric", "value"},
+		[][]string{
+			{"CSSP speedup vs Icount", report.Pct(h.CSSPSpeedup)},
+			{"CDPRF speedup vs Icount", report.Pct(h.CDPRFSpeedup)},
+			{"CDPRF fairness vs Icount", report.Pct(h.FairnessRatio)},
+			{"best category", fmt.Sprintf("%s %s", h.BestCategory, report.Pct(h.BestCategorySpeedup))},
+		}))
+	return nil
+}
+
+func future(r *experiments.Runner, o experiments.Options) error {
+	out, err := experiments.FutureWork(r, o)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for s := range out {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	var rows [][]string
+	for _, s := range names {
+		rows = append(rows, []string{s, report.Pct(out[s])})
+	}
+	fmt.Println(report.Table("Future work (§6): cluster-aware DCRA and hill-climbing vs CDPRF (speedup vs Icount)",
+		[]string{"scheme", "speedup"}, rows))
+	return nil
+}

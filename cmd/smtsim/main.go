@@ -1,0 +1,103 @@
+// Command smtsim runs one workload from the paper's pool (Table 2) under a
+// chosen resource assignment scheme and prints the run statistics.
+//
+// Usage:
+//
+//	smtsim -workload ispec00.mix.2.1 -scheme cdprf -iq 32 -regs 64 -len 100000
+//	smtsim -list                       # list workloads
+//	smtsim -schemes                    # list schemes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersmt/internal/core"
+	"clustersmt/internal/policy"
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "ispec00.mix.2.1", "workload name from the Table 2 pool")
+		scheme   = flag.String("scheme", "cdprf", "resource assignment scheme")
+		iq       = flag.Int("iq", 32, "issue-queue entries per cluster (32 or 64 in the paper)")
+		regs     = flag.Int("regs", 64, "physical registers per kind per cluster (0 = unbounded)")
+		rob      = flag.Int("rob", 128, "ROB entries per thread (0 = unbounded)")
+		traceLen = flag.Int("len", 100000, "trace length per thread (uops)")
+		warmup   = flag.Int("warmup", 0, "warm-up commits per thread before measuring (0 = len/5)")
+		single   = flag.Int("single", -1, "run only this thread alone (-1 = full SMT workload)")
+		list     = flag.Bool("list", false, "list all workloads and exit")
+		schemes  = flag.Bool("schemes", false, "list all schemes and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *schemes {
+		for _, name := range policy.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	w, err := workload.Find(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var progs []core.ThreadProgram
+	for i, prof := range w.Threads {
+		if *single >= 0 && i != *single {
+			continue
+		}
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, core.ThreadProgram{
+			Trace:   g.Generate(*traceLen),
+			Profile: prof,
+			Seed:    w.Seeds[i] ^ 0xabcdef,
+		})
+	}
+	cfg := core.DefaultConfig(len(progs))
+	cfg.IQSize = *iq
+	cfg.IntRegsPerCluster = *regs
+	cfg.FpRegsPerCluster = *regs
+	cfg.ROBPerThread = *rob
+	if *warmup > 0 {
+		cfg.WarmupUops = uint64(*warmup)
+	} else {
+		cfg.WarmupUops = uint64(*traceLen / 5)
+	}
+
+	p, err := core.NewScheme(cfg, *scheme, progs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := p.Run()
+
+	fmt.Printf("workload   %s  scheme %s  iq %d  regs %d  rob %d\n", w.Name, *scheme, *iq, *regs, *rob)
+	fmt.Printf("cycles     %d\n", st.Cycles)
+	fmt.Printf("ipc        %.4f\n", st.IPC())
+	for t := range progs {
+		fmt.Printf("thread %d   ipc %.4f  committed %d  fetched %d\n",
+			t, st.ThreadIPC(t), st.Committed[t], st.Fetched[t])
+	}
+	fmt.Printf("copies/ret %.4f   (transfers %d, generated %d, committed %d)\n",
+		st.CopiesPerRetired(), st.CopyTransfers, st.CopiesGenerated, st.CommittedCopies)
+	fmt.Printf("iqstall/ret %.4f  (events %d, blocked cycles %d)\n",
+		st.IQStallsPerRetired(), st.IQStalls, st.IQBlocked)
+	fmt.Printf("stalls     rf %d  mob %d  rob %d\n", st.RFStalls, st.MOBStalls, st.ROBStalls)
+	fmt.Printf("branches   lookups %d  mispredicts %d  flushes %d  squashed %d\n",
+		st.BranchLookups, st.Mispredicts, st.Flushes, st.Squashed)
+	fmt.Printf("memory     l2miss(loads) %d  store-forwards %d\n", st.L2Misses, st.StoreForwards)
+	cs := p.Mem().Stats()
+	fmt.Printf("caches     l1 %d/%d miss  l2 %d/%d miss  tlb %d/%d miss  coalesced %d\n",
+		cs.L1Misses, cs.L1Accesses, cs.L2Misses, cs.L2Accesses, cs.TLBMisses, cs.TLBAccesses, cs.Coalesced)
+}

@@ -1,0 +1,113 @@
+// Command tracegen materializes the synthetic traces of the Table 2
+// workload pool into the binary trace format (see internal/trace), or
+// inspects an existing trace file.
+//
+// Usage:
+//
+//	tracegen -workload ispec00.mix.2.1 -len 100000 -out /tmp/tr   # writes /tmp/tr.t0 /tmp/tr.t1
+//	tracegen -inspect /tmp/tr.t0                                  # print summary + head
+//	tracegen -list                                                # list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersmt/internal/isa"
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "", "workload whose threads to materialize")
+		traceLen = flag.Int("len", 100000, "uops per thread")
+		out      = flag.String("out", "trace", "output path prefix (one file per thread: <out>.t<i>)")
+		inspect  = flag.String("inspect", "", "trace file to summarize instead of generating")
+		head     = flag.Int("head", 10, "uops to print when inspecting")
+		list     = flag.Bool("list", false, "list all workloads and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+	case *inspect != "":
+		if err := inspectTrace(*inspect, *head); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *wlName != "":
+		if err := generate(*wlName, *traceLen, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(wlName string, traceLen int, out string) error {
+	w, err := workload.Find(wlName)
+	if err != nil {
+		return err
+	}
+	for i, prof := range w.Threads {
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		uops := g.Generate(traceLen)
+		path := fmt.Sprintf("%s.t%d", out, i)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, uops); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d uops (profile %s)\n", path, len(uops), prof.Name)
+	}
+	return nil
+}
+
+func inspectTrace(path string, head int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	uops, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	counts := map[isa.Class]int{}
+	branches, taken := 0, 0
+	for i := range uops {
+		counts[uops[i].Class]++
+		if uops[i].Class == isa.Branch {
+			branches++
+			if uops[i].Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("%s: %d uops\n", path, len(uops))
+	for c := isa.Class(0); int(c) < isa.NumClasses; c++ {
+		if counts[c] > 0 {
+			fmt.Printf("  %-6s %8d (%.1f%%)\n", c, counts[c], 100*float64(counts[c])/float64(len(uops)))
+		}
+	}
+	if branches > 0 {
+		fmt.Printf("  taken branches: %.1f%%\n", 100*float64(taken)/float64(branches))
+	}
+	for i := 0; i < head && i < len(uops); i++ {
+		fmt.Printf("  [%d] %s\n", i, uops[i].String())
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Fairness: reproduce the §4 metric on one workload — run each thread
+// alone, then together under several schemes, and report the
+// throughput/fairness frontier the paper's Figure 10 aggregates.
+//
+//	go run ./examples/fairness [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"clustersmt/internal/core"
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+const traceLen = 60000
+
+func programs(w workload.Workload, single int) []core.ThreadProgram {
+	var progs []core.ThreadProgram
+	for i, prof := range w.Threads {
+		if single >= 0 && i != single {
+			continue
+		}
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, core.ThreadProgram{
+			Trace: g.Generate(traceLen), Profile: prof, Seed: w.Seeds[i] ^ 0xabcdef,
+		})
+	}
+	return progs
+}
+
+func run(w workload.Workload, scheme string, single int) *metrics.Stats {
+	cfg := core.DefaultConfig(1)
+	if single < 0 {
+		cfg = core.DefaultConfig(len(w.Threads))
+	}
+	cfg.WarmupUops = traceLen / 5
+	p, err := core.NewScheme(cfg, scheme, programs(w, single))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p.Run()
+}
+
+func main() {
+	name := "server.mix.2.1"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := workload.Find(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	single := make([]float64, len(w.Threads))
+	for t := range w.Threads {
+		single[t] = run(w, "icount", t).ThreadIPC(0)
+		fmt.Printf("thread %d alone: %.3f IPC (%s)\n", t, single[t], w.Threads[t].Name)
+	}
+	fmt.Printf("\n%-8s %10s %10s %10s %10s %10s\n",
+		"scheme", "IPC", "t0 IPC", "t1 IPC", "fairness", "wspeedup")
+	for _, scheme := range []string{"icount", "stall", "flush+", "cssp", "cdprf"} {
+		st := run(w, scheme, -1)
+		smt := []float64{st.ThreadIPC(0), st.ThreadIPC(1)}
+		fmt.Printf("%-8s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			scheme, st.IPC(), smt[0], smt[1],
+			metrics.Fairness(single, smt), metrics.WeightedSpeedup(single, smt))
+	}
+	fmt.Println("\nFairness = min ratio of the threads' relative slowdowns (refs [17],[33]).")
+}

@@ -1,0 +1,35 @@
+// Policysweep: a miniature Figure 2 — compare all seven issue-queue
+// resource assignment schemes on one category at both studied IQ sizes.
+//
+//	go run ./examples/policysweep [category]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"clustersmt/internal/experiments"
+	"clustersmt/internal/policy"
+)
+
+func main() {
+	cat := "server"
+	if len(os.Args) > 1 {
+		cat = os.Args[1]
+	}
+	r := experiments.NewRunner(40000)
+	o := experiments.Options{Categories: []string{cat}, MaxPerCategory: 4}
+	cs, err := experiments.Fig2(r, o, policy.PaperIQSchemes(), []int{32, 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Issue-queue schemes on %q (speedup vs Icount@32):\n\n", cat)
+	fmt.Printf("%-8s %8s %8s\n", "scheme", "iq=32", "iq=64")
+	for _, s := range policy.PaperIQSchemes() {
+		fmt.Printf("%-8s %8.3f %8.3f\n", s,
+			cs.Values[s+"/32"]["AVG"], cs.Values[s+"/64"]["AVG"])
+	}
+	fmt.Println("\nExpected shape (paper §5.1): CSSP best; cluster-sensitive")
+	fmt.Println("beats cluster-insensitive beats private clusters.")
+}

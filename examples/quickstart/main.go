@@ -1,0 +1,55 @@
+// Quickstart: simulate one mixed 2-thread workload on the Table 1 machine
+// under the paper's proposed CDPRF scheme and print a scorecard.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersmt/internal/core"
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+func main() {
+	// Pick a workload from the paper's Table 2 pool: an integer SPEC-like
+	// thread paired with a memory-bounded one.
+	w, err := workload.Find("ispec00.mix.2.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Materialize each thread's synthetic trace deterministically.
+	var progs []core.ThreadProgram
+	for i, prof := range w.Threads {
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, core.ThreadProgram{
+			Trace:   g.Generate(80000),
+			Profile: prof,
+			Seed:    w.Seeds[i] ^ 0xabcdef,
+		})
+	}
+
+	// The Table 1 baseline: 2 clusters, 32-entry issue queues, 64+64
+	// physical registers per cluster, 128-entry per-thread ROBs.
+	cfg := core.DefaultConfig(2)
+	cfg.WarmupUops = 16000
+
+	p, err := core.NewScheme(cfg, "cdprf", progs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := p.Run()
+
+	fmt.Printf("workload:     %s\n", w.Name)
+	fmt.Printf("cycles:       %d\n", st.Cycles)
+	fmt.Printf("throughput:   %.3f uops/cycle\n", st.IPC())
+	for t := range progs {
+		fmt.Printf("  thread %d:   %.3f IPC (%s)\n", t, st.ThreadIPC(t), w.Threads[t].Name)
+	}
+	fmt.Printf("copies/ret:   %.3f\n", st.CopiesPerRetired())
+	fmt.Printf("iq stalls/ret:%.3f\n", st.IQStallsPerRetired())
+	fmt.Printf("L2 misses:    %d   mispredicts: %d\n", st.L2Misses, st.Mispredicts)
+}

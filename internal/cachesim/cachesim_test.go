@@ -1,0 +1,207 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Hierarchy {
+	cfg := DefaultConfig()
+	return New(cfg)
+}
+
+func TestFirstAccessMissesToMemory(t *testing.T) {
+	h := small()
+	res := h.Access(0x1000, 0)
+	if res.Level != MemHit {
+		t.Fatalf("cold access level %v", res.Level)
+	}
+	want := int64(0) + int64(h.cfg.DTLBMissCycles+h.cfg.L1Latency+h.cfg.L2Latency+h.cfg.MemLatency)
+	if res.DoneAt != want {
+		t.Errorf("DoneAt %d, want %d (includes cold TLB miss)", res.DoneAt, want)
+	}
+	if !res.TLBMiss {
+		t.Error("first touch should miss the DTLB")
+	}
+}
+
+func TestRereferenceHitsL1(t *testing.T) {
+	h := small()
+	done := h.Access(0x1000, 0).DoneAt
+	res := h.Access(0x1008, done) // same line, after the fill completed
+	if res.Level != L1Hit {
+		t.Fatalf("re-reference level %v", res.Level)
+	}
+	if res.DoneAt != done+int64(h.cfg.L1Latency) {
+		t.Errorf("L1 hit latency wrong: %d", res.DoneAt)
+	}
+}
+
+func TestCoalescingWithInflightLine(t *testing.T) {
+	h := small()
+	first := h.Access(0x2000, 0)
+	second := h.Access(0x2010, 1) // same 64B line while fill in flight
+	if second.DoneAt != first.DoneAt {
+		t.Errorf("coalesced access completes at %d, want %d", second.DoneAt, first.DoneAt)
+	}
+	if h.Stats().Coalesced != 1 {
+		t.Errorf("coalesced count %d", h.Stats().Coalesced)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	now := int64(0)
+	// Fill one L1 set beyond its associativity. L1: 32KB/64B/2-way = 256
+	// sets; addresses with identical set index differ by 256*64 = 16384.
+	stride := uint64(cfg.L1Size / cfg.L1Assoc)
+	addrs := []uint64{0, stride, 2 * stride}
+	for _, a := range addrs {
+		res := h.Access(a, now)
+		now = res.DoneAt + 1
+	}
+	// addrs[0] was evicted from L1 (LRU) but must still be in L2.
+	res := h.Access(addrs[0], now)
+	if res.Level != L2Hit {
+		t.Fatalf("expected L2 hit after L1 eviction, got %v", res.Level)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := newSetAssoc(4, 2, 6) // 2 sets, 2 ways
+	// Two lines in set 0: blocks 0 and 2 (set = block & 1).
+	c.access(0<<6, 0)
+	c.access(2<<6, 1)
+	c.access(0<<6, 2) // touch block 0: block 2 becomes LRU
+	c.access(4<<6, 3) // evicts block 2
+	if !c.probe(0 << 6) {
+		t.Error("block 0 should have survived (MRU)")
+	}
+	if c.probe(2 << 6) {
+		t.Error("block 2 should have been evicted (LRU)")
+	}
+	if !c.probe(4 << 6) {
+		t.Error("block 4 should be resident")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	h := small()
+	if h.ProbeL1(0x3000) || h.ProbeL2(0x3000) {
+		t.Fatal("probe of untouched address reports presence")
+	}
+	if h.Stats().L1Accesses != 0 {
+		t.Error("probe counted as access")
+	}
+}
+
+func TestPortsPerCycle(t *testing.T) {
+	h := small()
+	if !h.TryReadPort(5) || !h.TryReadPort(5) {
+		t.Fatal("two read ports should be grantable")
+	}
+	if h.TryReadPort(5) {
+		t.Fatal("third read port granted")
+	}
+	if !h.TryWritePort(5) || !h.TryWritePort(5) || h.TryWritePort(5) {
+		t.Fatal("write port accounting wrong")
+	}
+	// New cycle resets.
+	if !h.TryReadPort(6) {
+		t.Fatal("ports did not reset on new cycle")
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MSHRs = 2
+	h := New(cfg)
+	h.Access(0x10000, 0)
+	h.Access(0x20000, 0)
+	if h.MSHRAvailable(0) {
+		t.Fatal("MSHRs should be exhausted")
+	}
+	// After the fills complete, entries are reclaimed lazily.
+	if !h.MSHRAvailable(1000) {
+		t.Fatal("MSHRs not reclaimed after completion")
+	}
+}
+
+func TestTLBMissOnlyOncePerPage(t *testing.T) {
+	h := small()
+	done := h.Access(0x4000, 0).DoneAt
+	res := h.Access(0x4008, done+1)
+	if res.TLBMiss {
+		t.Error("second access to the same page missed the TLB")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	h := small()
+	now := int64(0)
+	for i := 0; i < 10; i++ {
+		res := h.Access(uint64(i)*64*1024, now)
+		now = res.DoneAt + 1
+	}
+	st := h.Stats()
+	if st.L1Accesses != 10 || st.L1Misses != 10 || st.L2Misses != 10 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := small()
+	h.Access(0x1000, 0)
+	h.Reset()
+	if h.Stats().L1Accesses != 0 {
+		t.Error("stats survive Reset")
+	}
+	if h.ProbeL1(0x1000) {
+		t.Error("contents survive Reset")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	h := New(Config{})
+	if h.Config().L1Size != 32<<10 || h.Config().L2Size != 4<<20 {
+		t.Errorf("Table 1 defaults not applied: %+v", h.Config())
+	}
+}
+
+// Property: every access completes strictly after it starts and never
+// earlier than the L1 latency.
+func TestCompletionMonotoneProperty(t *testing.T) {
+	h := small()
+	now := int64(0)
+	f := func(addr uint64) bool {
+		res := h.Access(addr%(1<<30), now)
+		ok := res.DoneAt >= now+int64(h.cfg.L1Latency)
+		now++
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit level ordering is consistent — an address that just hit L1
+// hits L1 again immediately.
+func TestL1HitStableProperty(t *testing.T) {
+	h := small()
+	f := func(addr uint64) bool {
+		a := addr % (1 << 24)
+		r1 := h.Access(a, 1000)
+		r2 := h.Access(a, r1.DoneAt+1)
+		return r2.Level == L1Hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if L1Hit.String() != "L1" || L2Hit.String() != "L2" || MemHit.String() != "mem" {
+		t.Error("level names wrong")
+	}
+}

@@ -1,0 +1,23 @@
+package cachesim
+
+import "testing"
+
+func TestStrideStaysWarm(t *testing.T) {
+	h := New(DefaultConfig())
+	now := int64(0)
+	misses := 0
+	// Warm: stride over 20KB twice.
+	for pass := 0; pass < 6; pass++ {
+		for a := uint64(0); a < 20222; a += 8 {
+			res := h.Access(a, now)
+			if pass >= 2 && res.Level == MemHit {
+				misses++
+			}
+			now += 2
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d memory misses on a warm 20KB stride", misses)
+	}
+	t.Logf("stats: %+v", h.Stats())
+}

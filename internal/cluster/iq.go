@@ -1,0 +1,173 @@
+// Package cluster provides the per-cluster back-end structures of the
+// baseline machine (§3): the issue queue, the two physical register files
+// (integer and FP/SIMD) with their free lists and ready bits, and the three
+// issue ports (Table 1: P0 int/fp/simd, P1 int/fp/simd, P2 int/mem).
+package cluster
+
+import "clustersmt/internal/isa"
+
+// IssueQueue is a fixed-capacity, age-ordered issue queue. The payload T is
+// whatever the core uses to identify in-flight uops (typically a ROB entry
+// pointer). Entries stay in insertion (age) order so oldest-first select is
+// a linear scan.
+//
+// The queue tracks per-thread occupancy because every partitioning scheme in
+// the paper is defined in terms of how many entries each thread holds.
+type IssueQueue[T comparable] struct {
+	capacity int
+	entries  []iqSlot[T]
+	occ      []int // per thread
+}
+
+type iqSlot[T comparable] struct {
+	payload T
+	thread  int
+}
+
+// NewIssueQueue returns an issue queue with the given capacity, tracking
+// occupancy for n threads.
+func NewIssueQueue[T comparable](capacity, n int) *IssueQueue[T] {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	if n <= 0 {
+		n = 1
+	}
+	return &IssueQueue[T]{
+		capacity: capacity,
+		entries:  make([]iqSlot[T], 0, capacity),
+		occ:      make([]int, n),
+	}
+}
+
+// Capacity returns the total number of entries.
+func (q *IssueQueue[T]) Capacity() int { return q.capacity }
+
+// Len returns the number of occupied entries.
+func (q *IssueQueue[T]) Len() int { return len(q.entries) }
+
+// Free returns the number of available entries.
+func (q *IssueQueue[T]) Free() int { return q.capacity - len(q.entries) }
+
+// Occupancy returns the number of entries held by thread t.
+func (q *IssueQueue[T]) Occupancy(t int) int { return q.occ[t] }
+
+// Insert appends payload for thread t in age order. It reports false when
+// the queue is full.
+func (q *IssueQueue[T]) Insert(payload T, t int) bool {
+	if len(q.entries) >= q.capacity {
+		return false
+	}
+	q.entries = append(q.entries, iqSlot[T]{payload: payload, thread: t})
+	q.occ[t]++
+	return true
+}
+
+// Scan calls fn on every entry in age order (oldest first). If fn returns
+// false the scan stops early.
+func (q *IssueQueue[T]) Scan(fn func(payload T, thread int) bool) {
+	for i := range q.entries {
+		if !fn(q.entries[i].payload, q.entries[i].thread) {
+			return
+		}
+	}
+}
+
+// Remove deletes the entry with the given payload, preserving age order.
+// It reports whether the payload was present.
+func (q *IssueQueue[T]) Remove(payload T) bool {
+	for i := range q.entries {
+		if q.entries[i].payload == payload {
+			q.occ[q.entries[i].thread]--
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveIf deletes every entry for which fn returns true and returns the
+// number removed. Age order of survivors is preserved.
+func (q *IssueQueue[T]) RemoveIf(fn func(payload T, thread int) bool) int {
+	kept := q.entries[:0]
+	removed := 0
+	for i := range q.entries {
+		if fn(q.entries[i].payload, q.entries[i].thread) {
+			q.occ[q.entries[i].thread]--
+			removed++
+		} else {
+			kept = append(kept, q.entries[i])
+		}
+	}
+	// Clear the tail so payloads don't pin garbage.
+	var zero iqSlot[T]
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = zero
+	}
+	q.entries = kept
+	return removed
+}
+
+// Ports models the three issue ports of one cluster. Reset at the start of
+// each cycle; TryIssue claims a compatible free port for a uop class.
+type Ports struct {
+	// busy[i] marks port i used this cycle.
+	busy [3]bool
+	// issued counts grants per cycle for stats.
+	issued int
+}
+
+// PortCount is the number of issue ports per cluster (Table 1).
+const PortCount = 3
+
+// portsFor returns the bitmask of ports able to execute class c:
+// P0/P1 execute int and fp/simd, P2 executes int and memory.
+func portsFor(c isa.Class) uint8 {
+	switch c {
+	case isa.Int, isa.IntMul, isa.Branch, isa.Nop:
+		return 0b111
+	case isa.Fp:
+		return 0b011
+	case isa.Load, isa.Store:
+		return 0b100
+	default: // Copy travels on the interconnect, not the ports
+		return 0
+	}
+}
+
+// Reset clears the per-cycle port state.
+func (p *Ports) Reset() {
+	p.busy = [3]bool{}
+	p.issued = 0
+}
+
+// TryIssue claims a free compatible port for class c. It returns the port
+// index and true on success.
+func (p *Ports) TryIssue(c isa.Class) (int, bool) {
+	mask := portsFor(c)
+	for i := 0; i < PortCount; i++ {
+		if mask&(1<<uint(i)) != 0 && !p.busy[i] {
+			p.busy[i] = true
+			p.issued++
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// HasFree reports whether a compatible port is still free for class c this
+// cycle (without claiming it). Used by the workload-imbalance metric
+// (Fig. 5): a ready uop that cannot issue here but could have issued in the
+// other cluster counts as imbalance.
+func (p *Ports) HasFree(c isa.Class) bool {
+	mask := portsFor(c)
+	for i := 0; i < PortCount; i++ {
+		if mask&(1<<uint(i)) != 0 && !p.busy[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Issued returns the number of uops issued through the ports this cycle.
+func (p *Ports) Issued() int { return p.issued }

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+
+	"clustersmt/internal/isa"
+)
+
+// UnboundedRegs is the per-kind capacity used to emulate an unbounded
+// register file (the paper unbounds the RF and ROB for the issue-queue study
+// of §5.1 "to avoid side effects on these components").
+const UnboundedRegs = 1 << 14
+
+// RegFile is the physical register storage of one cluster: one file per
+// register kind (integer and FP/SIMD), each with a free list, per-thread
+// in-use counters, and data-ready bits used by the wakeup logic.
+type RegFile struct {
+	total [isa.NumRegKinds]int
+	free  [isa.NumRegKinds][]int32
+	ready [isa.NumRegKinds][]bool
+	inUse [isa.NumRegKinds][]int // per thread
+}
+
+// NewRegFile returns a register file with intRegs integer and fpRegs FP/SIMD
+// physical registers, tracking usage for n threads. Non-positive counts
+// select UnboundedRegs.
+func NewRegFile(intRegs, fpRegs, n int) *RegFile {
+	if intRegs <= 0 {
+		intRegs = UnboundedRegs
+	}
+	if fpRegs <= 0 {
+		fpRegs = UnboundedRegs
+	}
+	if n <= 0 {
+		n = 1
+	}
+	rf := &RegFile{}
+	counts := [isa.NumRegKinds]int{isa.IntReg: intRegs, isa.FpReg: fpRegs}
+	for k := 0; k < isa.NumRegKinds; k++ {
+		c := counts[k]
+		rf.total[k] = c
+		rf.free[k] = make([]int32, c)
+		for i := range rf.free[k] {
+			// Pop from the end; keep low indices allocated first.
+			rf.free[k][i] = int32(c - 1 - i)
+		}
+		rf.ready[k] = make([]bool, c)
+		rf.inUse[k] = make([]int, n)
+	}
+	return rf
+}
+
+// Total returns the number of physical registers of kind k.
+func (rf *RegFile) Total(k isa.RegKind) int { return rf.total[k] }
+
+// FreeCount returns the number of unallocated registers of kind k.
+func (rf *RegFile) FreeCount(k isa.RegKind) int { return len(rf.free[k]) }
+
+// InUse returns the number of registers of kind k held by thread t.
+func (rf *RegFile) InUse(k isa.RegKind, t int) int { return rf.inUse[k][t] }
+
+// Alloc takes a register of kind k for thread t. The register starts
+// not-ready. It returns -1 and false when the file is exhausted.
+func (rf *RegFile) Alloc(k isa.RegKind, t int) (int32, bool) {
+	fl := rf.free[k]
+	if len(fl) == 0 {
+		return -1, false
+	}
+	idx := fl[len(fl)-1]
+	rf.free[k] = fl[:len(fl)-1]
+	rf.ready[k][idx] = false
+	rf.inUse[k][t]++
+	return idx, true
+}
+
+// Free returns register idx of kind k held by thread t to the free list.
+func (rf *RegFile) Free(k isa.RegKind, t int, idx int32) {
+	if idx < 0 || int(idx) >= rf.total[k] {
+		panic(fmt.Sprintf("cluster: Free(%v, %d) out of range", k, idx))
+	}
+	rf.inUse[k][t]--
+	if rf.inUse[k][t] < 0 {
+		panic("cluster: register free underflow")
+	}
+	rf.free[k] = append(rf.free[k], idx)
+}
+
+// SetReady marks register idx of kind k data-ready.
+func (rf *RegFile) SetReady(k isa.RegKind, idx int32) { rf.ready[k][idx] = true }
+
+// IsReady reports whether register idx of kind k is data-ready.
+func (rf *RegFile) IsReady(k isa.RegKind, idx int32) bool { return rf.ready[k][idx] }

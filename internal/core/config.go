@@ -1,0 +1,138 @@
+// Package core implements the cycle-level model of the paper's baseline
+// machine (§3, Table 1): a monolithic SMT front-end (fetch, per-thread
+// queues, one-thread-per-cycle rename) feeding a two-cluster back-end
+// (issue queues, per-kind register files, three issue ports per cluster)
+// through dependence/workload steering with on-demand inter-cluster copies,
+// over a shared MOB and L1/L2/memory hierarchy.
+//
+// The resource assignment schemes under study plug in as policy.Selector
+// (rename thread selection), policy.IQPolicy (issue-queue occupancy caps)
+// and policy.RFPolicy (register occupancy caps); see package policy.
+package core
+
+import (
+	"fmt"
+
+	"clustersmt/internal/bpred"
+	"clustersmt/internal/cachesim"
+	"clustersmt/internal/interconnect"
+)
+
+// Config is the machine configuration. DefaultConfig returns Table 1.
+type Config struct {
+	// NumClusters is the number of back-end clusters (paper: 2).
+	NumClusters int
+	// NumThreads is the number of hardware threads.
+	NumThreads int
+
+	// FetchWidth is uops fetched per cycle from the selected thread.
+	FetchWidth int
+	// RenameWidth is uops renamed per cycle from the selected thread.
+	RenameWidth int
+	// CommitWidth is total uops committed per cycle.
+	CommitWidth int
+	// FetchQueueCap is the per-thread private fetch queue depth.
+	FetchQueueCap int
+	// MispredictPenalty is the front-end refill depth after a redirect
+	// (Table 1: misprediction pipeline of 14 stages).
+	MispredictPenalty int
+
+	// ROBPerThread is the per-thread ROB section size; 0 = unbounded
+	// (the §5.1 issue-queue study unbounds ROB and RF).
+	ROBPerThread int
+	// IQSize is the per-cluster issue-queue capacity (32 or 64).
+	IQSize int
+	// IntRegsPerCluster and FpRegsPerCluster size the per-cluster
+	// physical register files; 0 = unbounded.
+	IntRegsPerCluster int
+	FpRegsPerCluster  int
+	// MOBSize is the shared memory-order-buffer capacity.
+	MOBSize int
+
+	// SteerSlack is the workload-balance override slack of the steering
+	// logic (issue-queue entries of imbalance tolerated before the
+	// balance term overrides dependence).
+	SteerSlack int
+
+	// Cache configures the memory hierarchy.
+	Cache cachesim.Config
+	// BPred configures the branch predictor (NumThreads is overridden).
+	BPred bpred.Config
+	// Net configures the inter-cluster links.
+	Net interconnect.Config
+
+	// WarmupUops discards statistics until every thread has committed
+	// this many uops (caches and predictors keep their state), the usual
+	// warm-up methodology for trace-driven simulation. 0 disables.
+	WarmupUops uint64
+
+	// MaxCycles bounds a run (safety net; 0 selects a large default).
+	MaxCycles int64
+	// RunToCompletion makes Run continue until every thread finishes its
+	// trace; by default the run stops when the first thread finishes
+	// (standard SMT methodology, avoiding a single-threaded tail).
+	RunToCompletion bool
+}
+
+// DefaultConfig returns the Table 1 baseline for n threads: 32-entry issue
+// queues and 64+64 registers per cluster (the smaller of each studied
+// range), which §5 uses as the main configuration.
+func DefaultConfig(n int) Config {
+	return Config{
+		NumClusters:       2,
+		NumThreads:        n,
+		FetchWidth:        6,
+		RenameWidth:       6,
+		CommitWidth:       6,
+		FetchQueueCap:     32,
+		MispredictPenalty: 14,
+		ROBPerThread:      128,
+		IQSize:            32,
+		IntRegsPerCluster: 64,
+		FpRegsPerCluster:  64,
+		MOBSize:           128,
+		SteerSlack:        6,
+		Cache:             cachesim.DefaultConfig(),
+		BPred:             bpred.DefaultConfig(n),
+		Net:               interconnect.DefaultConfig(),
+		MaxCycles:         50_000_000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.NumClusters < 1 || c.NumClusters > 4 {
+		return fmt.Errorf("core: NumClusters=%d outside [1,4]", c.NumClusters)
+	}
+	if c.NumThreads < 1 {
+		return fmt.Errorf("core: NumThreads=%d < 1", c.NumThreads)
+	}
+	if c.FetchWidth < 1 || c.RenameWidth < 1 || c.CommitWidth < 1 {
+		return fmt.Errorf("core: widths must be >= 1")
+	}
+	if c.IQSize < 4 {
+		return fmt.Errorf("core: IQSize=%d too small", c.IQSize)
+	}
+	if c.MOBSize < 2 {
+		return fmt.Errorf("core: MOBSize=%d too small", c.MOBSize)
+	}
+	if c.ROBPerThread < 0 || c.IntRegsPerCluster < 0 || c.FpRegsPerCluster < 0 {
+		return fmt.Errorf("core: negative capacity")
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("core: negative mispredict penalty")
+	}
+	return nil
+}
+
+// withDefaults fills derived/zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 50_000_000
+	}
+	if c.FetchQueueCap <= 0 {
+		c.FetchQueueCap = 32
+	}
+	c.BPred.NumThreads = c.NumThreads
+	return c
+}

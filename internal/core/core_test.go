@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"clustersmt/internal/policy"
+	"clustersmt/internal/trace"
+)
+
+// testPrograms builds two short deterministic programs for smoke tests.
+func testPrograms(t *testing.T, n int) []ThreadProgram {
+	t.Helper()
+	profs := []trace.Profile{
+		trace.ILPProfile("test.ilp"),
+		trace.MemProfile("test.mem"),
+	}
+	var progs []ThreadProgram
+	for i := 0; i < 2; i++ {
+		g := trace.NewGenerator(profs[i], uint64(1000+i))
+		progs = append(progs, ThreadProgram{
+			Trace:   g.Generate(n),
+			Profile: profs[i],
+			Seed:    uint64(i + 7),
+		})
+	}
+	return progs
+}
+
+func runScheme(t *testing.T, scheme string, n int, mut func(*Config)) *Processor {
+	t.Helper()
+	cfg := DefaultConfig(2)
+	cfg.MaxCycles = 2_000_000
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := NewScheme(cfg, scheme, testPrograms(t, n))
+	if err != nil {
+		t.Fatalf("NewScheme(%s): %v", scheme, err)
+	}
+	p.Run()
+	return p
+}
+
+func TestSmokeAllSchemes(t *testing.T) {
+	for _, scheme := range policy.Names() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			p := runScheme(t, scheme, 5000, nil)
+			st := p.Stats()
+			if st.TotalCommitted() == 0 {
+				t.Fatalf("scheme %s committed nothing: %v", scheme, st)
+			}
+			if st.Cycles >= p.Config().MaxCycles {
+				t.Fatalf("scheme %s hit MaxCycles: %v", scheme, st)
+			}
+			ipc := st.IPC()
+			if ipc <= 0.05 || ipc > 12 {
+				t.Fatalf("scheme %s implausible IPC %.3f: %v", scheme, ipc, st)
+			}
+			t.Logf("%s: %v", scheme, st)
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"clustersmt/internal/frontend"
+	"clustersmt/internal/isa"
+)
+
+// canFetch reports whether thread t can fetch anything this cycle. The
+// selector's eligibility also gates fetch: Stall and Flush+ stop fetching
+// a thread with a pending L2 miss (refs [19], [25]), freeing the fetch
+// bandwidth for the other threads.
+func (p *Processor) canFetch(t int) bool {
+	ts := p.threads[t]
+	if p.now < ts.fetchStallUntil {
+		return false
+	}
+	if ts.fq.Free() == 0 {
+		return false
+	}
+	if !p.sel.Eligible(t, p) {
+		return false
+	}
+	return ts.wrongPath || !ts.traceDone()
+}
+
+// fetch implements the fetch stage: the fetch selection policy always
+// fetches from the fetchable thread with the fewest uops in its private
+// queue (§3), up to FetchWidth uops. A predicted-wrong branch switches the
+// thread to wrong-path fetch until the branch resolves.
+func (p *Processor) fetch() {
+	pick := -1
+	best := 1 << 30
+	n := p.cfg.NumThreads
+	for i := 0; i < n; i++ {
+		t := (p.rrSelect + i) % n
+		if !p.canFetch(t) {
+			continue
+		}
+		if l := p.threads[t].fq.Len(); l < best {
+			best = l
+			pick = t
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	ts := p.threads[pick]
+	fetched := 0
+	for fetched < p.cfg.FetchWidth && ts.fq.Free() > 0 {
+		if ts.wrongPath {
+			u := ts.wpGen.Next()
+			ts.fq.Push(frontend.FetchedUop{Uop: u, TraceIdx: -1, WrongPath: true})
+			fetched++
+			continue
+		}
+		if ts.traceDone() {
+			break
+		}
+		u := ts.prog.Trace[ts.fetchIdx]
+		fu := frontend.FetchedUop{Uop: u, TraceIdx: ts.fetchIdx}
+		if u.Class == isa.Branch {
+			pred, ckpt := p.pred.Predict(pick, u.PC)
+			fu.PredTaken = pred
+			fu.HistCheckpoint = ckpt
+			fu.Mispredicted = pred != u.Taken
+			p.stats.BranchLookups++
+		}
+		ts.fq.Push(fu)
+		ts.fetchIdx++
+		fetched++
+		if fu.Mispredicted {
+			// The fetch group ends at a mispredicted branch; from the
+			// next cycle the thread fetches down the wrong path until
+			// the branch resolves.
+			ts.wrongPath = true
+			break
+		}
+	}
+	p.stats.Fetched[pick] += uint64(fetched)
+}

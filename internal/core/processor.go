@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"clustersmt/internal/bpred"
+	"clustersmt/internal/cachesim"
+	"clustersmt/internal/cluster"
+	"clustersmt/internal/frontend"
+	"clustersmt/internal/interconnect"
+	"clustersmt/internal/isa"
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/mob"
+	"clustersmt/internal/policy"
+	"clustersmt/internal/steer"
+	"clustersmt/internal/trace"
+)
+
+// wheelSize is the completion-event ring size; it must exceed the largest
+// possible single-access latency (TLB miss + L1 + L2 + memory).
+const wheelSize = 256
+
+// ThreadProgram is one thread's input: a materialized correct-path trace
+// plus the profile used to synthesize wrong-path uops after mispredictions.
+type ThreadProgram struct {
+	// Trace is the correct-path uop stream.
+	Trace []isa.Uop
+	// Profile drives wrong-path synthesis (same program statistics).
+	Profile trace.Profile
+	// Seed decorrelates the wrong-path stream.
+	Seed uint64
+}
+
+// threadState is the per-thread front-end and bookkeeping state.
+type threadState struct {
+	prog      ThreadProgram
+	fetchIdx  int
+	seq       uint64 // next per-thread sequence number (assigned at rename)
+	fq        *frontend.FetchQueue
+	rat       frontend.RAT
+	rob       *frontend.ROB
+	wrongPath bool
+	wpGen     *trace.WrongPathGenerator
+	// fetchStallUntil blocks fetch during redirect refill.
+	fetchStallUntil int64
+	committed       uint64
+	// warmCycle/warmCommitted anchor the thread's private measurement
+	// window (set when the thread passes its warm-up commit count).
+	warmCycle     int64
+	warmCommitted uint64
+}
+
+func (ts *threadState) traceDone() bool { return ts.fetchIdx >= len(ts.prog.Trace) }
+
+// finished reports whether the thread has drained completely.
+func (ts *threadState) finished() bool {
+	return ts.traceDone() && !ts.wrongPath && ts.fq.Len() == 0 && ts.rob.Len() == 0
+}
+
+// Processor is one simulated machine instance. It is not safe for
+// concurrent use; run independent instances per goroutine.
+type Processor struct {
+	cfg Config
+
+	sel   policy.Selector
+	iqPol policy.IQPolicy
+	rfPol policy.RFPolicy
+	st    steer.Steerer
+
+	pred *bpred.Predictor
+	mem  *cachesim.Hierarchy
+	mobq *mob.MOB
+	net  *interconnect.Network
+
+	iqs   []*cluster.IssueQueue[*frontend.ROBEntry]
+	rfs   []*cluster.RegFile
+	ports []cluster.Ports
+
+	threads []*threadState
+
+	now    int64
+	nextID uint64
+
+	rrCommit int
+	rrSelect int
+
+	wheel [wheelSize][]*frontend.ROBEntry
+
+	pool []*frontend.ROBEntry
+
+	stats          *metrics.Stats
+	statsCycleBase int64
+	statsFwdBase   uint64
+
+	// scratch buffers reused across cycles to avoid allocation
+	scratchReady    []*frontend.ROBEntry
+	scratchOrder    []int
+	scratchSrcCnt   []int
+	scratchOcc      []int
+	scratchPlan     renamePlan
+	scratchLeftover [metrics.NumImbClasses][4]bool
+}
+
+// New builds a processor from cfg, the scheme components, the steering
+// function and one program per thread. A nil steerer selects the baseline
+// dependence/workload steering.
+func New(cfg Config, sel policy.Selector, iqPol policy.IQPolicy, rfPol policy.RFPolicy, st steer.Steerer, progs []ThreadProgram) (*Processor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) != cfg.NumThreads {
+		return nil, fmt.Errorf("core: %d programs for %d threads", len(progs), cfg.NumThreads)
+	}
+	if st == nil {
+		st = steer.DependenceBalance{BalanceSlack: cfg.SteerSlack}
+	}
+	p := &Processor{
+		cfg:   cfg,
+		sel:   sel,
+		iqPol: iqPol,
+		rfPol: rfPol,
+		st:    st,
+		pred:  bpred.New(cfg.BPred),
+		mem:   cachesim.New(cfg.Cache),
+		mobq:  mob.New(cfg.MOBSize, cfg.NumThreads),
+		net:   interconnect.New(cfg.Net),
+		stats: metrics.NewStats(cfg.NumThreads),
+	}
+	for c := 0; c < cfg.NumClusters; c++ {
+		p.iqs = append(p.iqs, cluster.NewIssueQueue[*frontend.ROBEntry](cfg.IQSize, cfg.NumThreads))
+		p.rfs = append(p.rfs, cluster.NewRegFile(cfg.IntRegsPerCluster, cfg.FpRegsPerCluster, cfg.NumThreads))
+	}
+	p.ports = make([]cluster.Ports, cfg.NumClusters)
+	for t := 0; t < cfg.NumThreads; t++ {
+		ts := &threadState{
+			warmCycle: -1,
+			prog:      progs[t],
+			fq:        frontend.NewFetchQueue(cfg.FetchQueueCap),
+			rob:       frontend.NewROB(cfg.ROBPerThread),
+			wpGen:     trace.NewWrongPathGenerator(progs[t].Profile, progs[t].Seed+uint64(t)*0x9e37),
+		}
+		p.threads = append(p.threads, ts)
+	}
+	p.scratchSrcCnt = make([]int, cfg.NumClusters)
+	p.scratchOcc = make([]int, cfg.NumClusters)
+	return p, nil
+}
+
+// NewScheme builds a processor running the named paper scheme.
+func NewScheme(cfg Config, schemeName string, progs []ThreadProgram) (*Processor, error) {
+	s, err := policy.Lookup(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	sel, iq, rf := s.New(cfg.NumThreads)
+	return New(cfg, sel, iq, rf, nil, progs)
+}
+
+// Config returns the configuration in use.
+func (p *Processor) Config() Config { return p.cfg }
+
+// Stats returns the run statistics collected so far.
+func (p *Processor) Stats() *metrics.Stats { return p.stats }
+
+// Mem exposes the memory hierarchy (for stats and tests).
+func (p *Processor) Mem() *cachesim.Hierarchy { return p.mem }
+
+// Predictor exposes the branch predictor (for stats and tests).
+func (p *Processor) Predictor() *bpred.Predictor { return p.pred }
+
+// entry pool --------------------------------------------------------------
+
+func (p *Processor) getEntry() *frontend.ROBEntry {
+	if n := len(p.pool); n > 0 {
+		e := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		e.Reset()
+		return e
+	}
+	e := &frontend.ROBEntry{}
+	e.Reset()
+	return e
+}
+
+func (p *Processor) putEntry(e *frontend.ROBEntry) {
+	if len(p.pool) < 4096 {
+		p.pool = append(p.pool, e)
+	}
+}
+
+// iqCluster returns the cluster whose issue queue holds e: copies wait in
+// their source cluster, everything else in its execution cluster.
+func iqCluster(e *frontend.ROBEntry) int {
+	if e.IsCopy() {
+		return e.SrcCluster
+	}
+	return e.Cluster
+}
+
+// policy.Machine implementation -------------------------------------------
+
+var _ policy.Machine = (*Processor)(nil)
+
+// NumThreads implements policy.Machine.
+func (p *Processor) NumThreads() int { return p.cfg.NumThreads }
+
+// NumClusters implements policy.Machine.
+func (p *Processor) NumClusters() int { return p.cfg.NumClusters }
+
+// IQSize implements policy.Machine.
+func (p *Processor) IQSize() int { return p.cfg.IQSize }
+
+// IQFree implements policy.Machine.
+func (p *Processor) IQFree(c int) int { return p.iqs[c].Free() }
+
+// IQOcc implements policy.Machine.
+func (p *Processor) IQOcc(c, t int) int { return p.iqs[c].Occupancy(t) }
+
+// RFTotal implements policy.Machine.
+func (p *Processor) RFTotal(k isa.RegKind) int {
+	total := 0
+	for _, rf := range p.rfs {
+		total += rf.Total(k)
+	}
+	return total
+}
+
+// RFFree implements policy.Machine.
+func (p *Processor) RFFree(k isa.RegKind) int {
+	total := 0
+	for _, rf := range p.rfs {
+		total += rf.FreeCount(k)
+	}
+	return total
+}
+
+// RFInUse implements policy.Machine.
+func (p *Processor) RFInUse(t int, k isa.RegKind) int {
+	total := 0
+	for _, rf := range p.rfs {
+		total += rf.InUse(k, t)
+	}
+	return total
+}
+
+// RFClusterTotal implements policy.Machine.
+func (p *Processor) RFClusterTotal(k isa.RegKind) int { return p.rfs[0].Total(k) }
+
+// RFClusterFree implements policy.Machine.
+func (p *Processor) RFClusterFree(c int, k isa.RegKind) int { return p.rfs[c].FreeCount(k) }
+
+// RFClusterInUse implements policy.Machine.
+func (p *Processor) RFClusterInUse(c, t int, k isa.RegKind) int { return p.rfs[c].InUse(k, t) }
+
+// Now implements policy.Machine.
+func (p *Processor) Now() int64 { return p.now }
+
+// Committed implements policy.PerfReader for adaptive schemes.
+func (p *Processor) Committed(t int) uint64 { return p.threads[t].committed }

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"clustersmt/internal/frontend"
+	"clustersmt/internal/isa"
+	"clustersmt/internal/policy"
+)
+
+// copyPlan describes one inter-cluster copy that placement in the target
+// cluster would require.
+type copyPlan struct {
+	reg        int16
+	srcCluster int
+	kind       isa.RegKind
+}
+
+// renamePlan is the resource bill of one uop placed in a specific cluster.
+type renamePlan struct {
+	copies    []copyPlan
+	needRegs  [isa.NumRegKinds]int
+	needSrcIQ [frontend.MaxClusters]int
+	needIQ    bool
+	robNeeded int
+}
+
+func (pl *renamePlan) reset() {
+	pl.copies = pl.copies[:0]
+	pl.needRegs = [isa.NumRegKinds]int{}
+	pl.needSrcIQ = [frontend.MaxClusters]int{}
+	pl.needIQ = false
+	pl.robNeeded = 0
+}
+
+// placeFail enumerates why placement in a cluster was rejected.
+type placeFail uint8
+
+const (
+	failNone placeFail = iota
+	failIQ             // issue-queue space or scheme cap (the Fig. 4 stall)
+	failRF             // register scheme cap or physical exhaustion
+	failMOB
+	failROB
+)
+
+// buildPlan fills p.scratchPlan with the resources uop needs in cluster c
+// for thread t. Copies are deduplicated per logical register.
+func (p *Processor) buildPlan(t int, u *isa.Uop, c int) *renamePlan {
+	pl := &p.scratchPlan
+	pl.reset()
+	ts := p.threads[t]
+	srcs := [2]int16{u.Src1, u.Src2}
+	for _, reg := range srcs {
+		if reg == isa.RegNone {
+			continue
+		}
+		m := ts.rat.Get(reg)
+		if !m.AnyValid() || m.Valid[c] {
+			continue
+		}
+		dup := false
+		for _, cp := range pl.copies {
+			if cp.reg == reg {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		srcC := 0
+		for cl := 0; cl < p.cfg.NumClusters; cl++ {
+			if m.Valid[cl] {
+				srcC = cl
+				break
+			}
+		}
+		kind := isa.KindOf(reg)
+		pl.copies = append(pl.copies, copyPlan{reg: reg, srcCluster: srcC, kind: kind})
+		pl.needRegs[kind]++
+		pl.needSrcIQ[srcC]++
+	}
+	if u.HasDest() {
+		pl.needRegs[isa.KindOf(u.Dst)]++
+	}
+	pl.needIQ = u.Class != isa.Nop
+	pl.robNeeded = 1 + len(pl.copies)
+	return pl
+}
+
+// checkPlace tests whether thread t's uop can be placed in cluster c under
+// the plan; on failure it reports the binding constraint and, for register
+// failures, the starving kind.
+func (p *Processor) checkPlace(t, c int, u *isa.Uop, pl *renamePlan) (placeFail, isa.RegKind) {
+	// Issue-queue space: the uop's own entry obeys the scheme cap; the
+	// copies it forces in the source clusters need physical space only
+	// (charging copies against the cap would double-punish communication;
+	// see DESIGN.md).
+	if pl.needIQ {
+		if !p.iqPol.Allows(t, c, p) || p.iqs[c].Free() < 1 {
+			return failIQ, 0
+		}
+	}
+	for cl := 0; cl < p.cfg.NumClusters; cl++ {
+		if pl.needSrcIQ[cl] > 0 && p.iqs[cl].Free() < pl.needSrcIQ[cl] {
+			return failIQ, 0
+		}
+	}
+	for k := 0; k < isa.NumRegKinds; k++ {
+		n := pl.needRegs[k]
+		if n == 0 {
+			continue
+		}
+		kind := isa.RegKind(k)
+		if !p.rfPol.MayAllocate(t, kind, c, n, p) || p.rfs[c].FreeCount(kind) < n {
+			return failRF, kind
+		}
+	}
+	if u.IsMem() && p.mobq.Free() < 1 {
+		return failMOB, 0
+	}
+	if p.threads[t].rob.Free() < pl.robNeeded {
+		return failROB, 0
+	}
+	return failNone, 0
+}
+
+// place renames the uop into cluster c, inserting the planned copies first.
+// All capacity checks have passed; allocation cannot fail.
+func (p *Processor) place(t, c int, fu *frontend.FetchedUop, pl *renamePlan) {
+	ts := p.threads[t]
+
+	for _, cp := range pl.copies {
+		m := ts.rat.Get(cp.reg)
+		phys, ok := p.rfs[c].Alloc(cp.kind, t)
+		if !ok {
+			panic("core: copy register allocation failed after check")
+		}
+		e := p.getEntry()
+		e.Uop = isa.Uop{Class: isa.Copy, Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone}
+		e.Thread = t
+		e.Seq = ts.seq
+		ts.seq++
+		e.ID = p.nextID
+		p.nextID++
+		e.WrongPath = fu.WrongPath
+		e.Cluster = c
+		e.SrcCluster = cp.srcCluster
+		e.CopySrcPhys = m.Phys[cp.srcCluster]
+		e.CopyLogReg = cp.reg
+		e.DstKind = cp.kind
+		e.DstPhys = phys
+		e.OldMap = m
+		ts.rat.SetCluster(cp.reg, c, phys)
+		if !ts.rob.Push(e) {
+			panic("core: ROB push failed after check")
+		}
+		if !p.iqs[cp.srcCluster].Insert(e, t) {
+			panic("core: copy IQ insert failed after check")
+		}
+		p.stats.CopiesGenerated++
+	}
+
+	u := fu.Uop
+	e := p.getEntry()
+	e.Uop = u
+	e.Thread = t
+	e.Seq = ts.seq
+	ts.seq++
+	e.ID = p.nextID
+	p.nextID++
+	e.TraceIdx = fu.TraceIdx
+	e.WrongPath = fu.WrongPath
+	e.Cluster = c
+	e.PredTaken = fu.PredTaken
+	e.Mispredicted = fu.Mispredicted
+	e.HistCheckpoint = fu.HistCheckpoint
+
+	srcs := [2]int16{u.Src1, u.Src2}
+	for i, reg := range srcs {
+		if reg == isa.RegNone {
+			continue
+		}
+		m := ts.rat.Get(reg)
+		if m.Valid[c] {
+			e.SrcPhys[e.NumSrc] = m.Phys[c]
+		} else {
+			// No live producer anywhere: architectural live-in, ready.
+			e.SrcPhys[e.NumSrc] = -1
+		}
+		e.SrcKind[e.NumSrc] = isa.KindOf(reg)
+		e.NumSrc++
+		_ = i
+	}
+
+	if u.HasDest() {
+		dk := isa.KindOf(u.Dst)
+		phys, ok := p.rfs[c].Alloc(dk, t)
+		if !ok {
+			panic("core: dest register allocation failed after check")
+		}
+		e.DstKind = dk
+		e.DstPhys = phys
+		e.OldMap = ts.rat.Get(u.Dst)
+		ts.rat.Define(u.Dst, c, phys)
+	}
+
+	if u.IsMem() {
+		me := p.mobq.Alloc(t, e.Seq, u.Class == isa.Store)
+		if me == nil {
+			panic("core: MOB allocation failed after check")
+		}
+		e.MOBEntry = me
+	}
+
+	if !ts.rob.Push(e) {
+		panic("core: ROB push failed after check")
+	}
+	if u.Class == isa.Nop {
+		e.Issued = true
+		e.Completed = true
+	} else if !p.iqs[c].Insert(e, t) {
+		panic("core: IQ insert failed after check")
+	}
+	p.stats.Renamed++
+}
+
+// renameOne attempts to rename the head uop of thread t. It reports whether
+// the uop was consumed; on failure the appropriate stall counters were
+// updated.
+func (p *Processor) renameOne(t int, fu *frontend.FetchedUop) bool {
+	u := &fu.Uop
+	ts := p.threads[t]
+
+	// Steering preference: the cluster holding most source operands, or
+	// the static binding of the PC scheme.
+	var pref int
+	if c, forced := p.iqPol.ForcedCluster(t); forced {
+		pref = c % p.cfg.NumClusters
+	} else {
+		srcCnt := p.scratchSrcCnt
+		occ := p.scratchOcc
+		for c := 0; c < p.cfg.NumClusters; c++ {
+			srcCnt[c] = 0
+			occ[c] = p.iqs[c].Len()
+		}
+		srcs := [2]int16{u.Src1, u.Src2}
+		for _, reg := range srcs {
+			if reg == isa.RegNone {
+				continue
+			}
+			m := ts.rat.Get(reg)
+			for c := 0; c < p.cfg.NumClusters; c++ {
+				if m.Valid[c] {
+					srcCnt[c]++
+				}
+			}
+		}
+		pref = p.st.Prefer(t, srcCnt, occ, p.cfg.IQSize)
+	}
+
+	_, forced := p.iqPol.ForcedCluster(t)
+
+	var firstFail placeFail
+	var firstKind isa.RegKind
+	prefIQFail := false
+	for i := 0; i < p.cfg.NumClusters; i++ {
+		c := (pref + i) % p.cfg.NumClusters
+		pl := p.buildPlan(t, u, c)
+		fail, kind := p.checkPlace(t, c, u, pl)
+		if fail == failNone {
+			if i > 0 || prefIQFail {
+				// Could not go to the preferred cluster: the Fig. 4
+				// stall event (the uop proceeds elsewhere).
+				p.stats.IQStalls++
+			}
+			p.place(t, c, fu, pl)
+			return true
+		}
+		if i == 0 {
+			firstFail, firstKind = fail, kind
+			prefIQFail = fail == failIQ
+		}
+		if forced {
+			break // PC: only the home cluster is legal
+		}
+	}
+
+	// Blocked: attribute the stall to the preferred cluster's constraint.
+	switch firstFail {
+	case failIQ:
+		p.stats.IQStalls++
+		p.stats.IQBlocked++
+	case failRF:
+		p.stats.RFStalls++
+		p.rfPol.NoteStall(t, firstKind)
+	case failMOB:
+		p.stats.MOBStalls++
+	case failROB:
+		p.stats.ROBStalls++
+	}
+	return false
+}
+
+// renameThread renames up to RenameWidth uops from thread t's fetch queue,
+// returning how many were consumed.
+func (p *Processor) renameThread(t int) int {
+	ts := p.threads[t]
+	count := 0
+	for count < p.cfg.RenameWidth && ts.fq.Len() > 0 {
+		if !p.renameOne(t, ts.fq.Peek()) {
+			break
+		}
+		ts.fq.Pop()
+		count++
+	}
+	return count
+}
+
+// rename implements the rename stage: among eligible threads with queued
+// uops, rename from the one with the fewest uops between rename and issue
+// (Icount ordering, §3/ref [1]); if it cannot make progress the next
+// thread in the ordering gets the slot. Only one thread renames per cycle.
+func (p *Processor) rename() {
+	n := p.cfg.NumThreads
+	order := p.scratchOrder[:0]
+	for i := 0; i < n; i++ {
+		t := (p.rrSelect + i) % n
+		if p.threads[t].fq.Len() == 0 || !p.sel.Eligible(t, p) {
+			continue
+		}
+		order = append(order, t)
+	}
+	p.scratchOrder = order // keep the (possibly grown) backing array
+	// Insertion sort by icount (uops between rename and issue = entries
+	// currently held in the issue queues).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && p.icount(order[j]) < p.icount(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, t := range order {
+		if p.renameThread(t) > 0 {
+			return
+		}
+	}
+}
+
+// icount returns thread t's uop count between rename and issue.
+func (p *Processor) icount(t int) int {
+	return policy.IQTotalOcc(p, t)
+}

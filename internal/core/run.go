@@ -1,0 +1,129 @@
+package core
+
+import (
+	"clustersmt/internal/isa"
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/policy"
+)
+
+// processCompletions drains the event wheel bucket for the current cycle:
+// destination registers become ready, branches resolve, miss-gated policies
+// are released. Squashed entries are returned to the pool here.
+func (p *Processor) processCompletions() {
+	b := &p.wheel[p.now%wheelSize]
+	if len(*b) == 0 {
+		return
+	}
+	for _, e := range *b {
+		e.InWheel = false
+		if e.Squashed {
+			p.putEntry(e)
+			continue
+		}
+		e.Completed = true
+		if e.DstPhys >= 0 {
+			p.rfs[e.Cluster].SetReady(e.DstKind, e.DstPhys)
+		}
+		if e.MissNotified {
+			p.notifyMissEnd(e.Thread)
+			e.MissNotified = false
+		}
+		if e.Uop.Class == isa.Branch {
+			p.resolveBranch(e)
+		}
+	}
+	*b = (*b)[:0]
+}
+
+// endCycle runs the per-cycle policy hooks and rotates arbitration.
+func (p *Processor) endCycle() {
+	for c := 0; c < p.cfg.NumClusters; c++ {
+		for t := 0; t < p.cfg.NumThreads; t++ {
+			p.stats.IQOccSum[c][t] += int64(p.iqs[c].Occupancy(t))
+		}
+	}
+	p.rfPol.EndCycle(p)
+	if co, ok := p.iqPol.(policy.CycleObserver); ok {
+		co.EndCycle(p)
+	}
+	p.rrSelect = (p.rrSelect + 1) % p.cfg.NumThreads
+}
+
+// Step advances the machine one cycle.
+func (p *Processor) Step() {
+	p.processCompletions()
+	p.handleFlushes()
+	p.commit()
+	p.issue()
+	p.rename()
+	p.fetch()
+	p.endCycle()
+	p.now++
+}
+
+// finished reports the run-termination condition: by default the run ends
+// when the first thread drains (standard SMT methodology, avoiding a
+// single-threaded tail); with RunToCompletion it ends when all drain.
+func (p *Processor) finished() bool {
+	if p.cfg.RunToCompletion {
+		for _, ts := range p.threads {
+			if !ts.finished() {
+				return false
+			}
+		}
+		return true
+	}
+	for _, ts := range p.threads {
+		if ts.finished() {
+			return true
+		}
+	}
+	return false
+}
+
+// warmupDone reports whether the machine has committed WarmupUops per
+// thread in aggregate. The threshold is aggregate rather than per-thread so
+// that a strongly asymmetric pair (a fast thread sharing with a crawling
+// memory-bound one) still finishes warming before the run ends.
+func (p *Processor) warmupDone() bool {
+	var total uint64
+	for _, ts := range p.threads {
+		total += ts.committed
+	}
+	return total >= p.cfg.WarmupUops*uint64(len(p.threads))
+}
+
+// resetStats discards statistics collected so far (end of warm-up); all
+// microarchitectural state (caches, predictor, occupancy) is preserved.
+func (p *Processor) resetStats() {
+	p.stats = metrics.NewStats(p.cfg.NumThreads)
+	p.statsCycleBase = p.now
+	p.statsFwdBase = p.mobq.Forwards()
+}
+
+// Run simulates until a thread finishes its trace (or all threads, with
+// RunToCompletion) or MaxCycles elapse, and returns the statistics.
+func (p *Processor) Run() *metrics.Stats {
+	warming := p.cfg.WarmupUops > 0
+	for p.now < p.cfg.MaxCycles && !p.finished() {
+		p.Step()
+		if warming && p.warmupDone() {
+			warming = false
+			p.resetStats()
+		}
+	}
+	p.stats.Cycles = p.now - p.statsCycleBase
+	p.stats.StoreForwards = p.mobq.Forwards() - p.statsFwdBase
+	if p.cfg.WarmupUops > 0 {
+		for t, ts := range p.threads {
+			if ts.warmCycle >= 0 && p.now > ts.warmCycle {
+				p.stats.ThreadWindowCycles[t] = p.now - ts.warmCycle
+				p.stats.ThreadWindowCommitted[t] = ts.committed - ts.warmCommitted
+			}
+		}
+	}
+	return p.stats
+}
+
+// Done reports whether the run-termination condition holds.
+func (p *Processor) Done() bool { return p.finished() }

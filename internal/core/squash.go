@@ -1,0 +1,157 @@
+package core
+
+import (
+	"clustersmt/internal/frontend"
+	"clustersmt/internal/isa"
+	"clustersmt/internal/policy"
+)
+
+// notifyMissStart forwards an L2-miss start to the selector and any policy
+// component observing misses (DCRA-style schemes).
+func (p *Processor) notifyMissStart(t int, seq uint64) {
+	p.sel.MissStart(t, seq, p.now)
+	if o, ok := p.iqPol.(policy.MissObserver); ok {
+		o.MissStart(t, seq, p.now)
+	}
+	if o, ok := p.rfPol.(policy.MissObserver); ok {
+		o.MissStart(t, seq, p.now)
+	}
+}
+
+// notifyMissEnd forwards an L2-miss completion.
+func (p *Processor) notifyMissEnd(t int) {
+	p.sel.MissEnd(t, p.now)
+	if o, ok := p.iqPol.(policy.MissObserver); ok {
+		o.MissEnd(t, p.now)
+	}
+	if o, ok := p.rfPol.(policy.MissObserver); ok {
+		o.MissEnd(t, p.now)
+	}
+}
+
+// squashAfter removes every in-flight uop of thread t younger than
+// boundary (per-thread sequence), undoing rename in reverse order and
+// releasing issue-queue, register, MOB and ROB resources. It returns the
+// history checkpoint of the oldest squashed correct-path branch, if any,
+// so flush paths can rewind the predictor history.
+func (p *Processor) squashAfter(t int, boundary uint64) (ckpt uint64, haveCkpt bool) {
+	ts := p.threads[t]
+	for ts.rob.Len() > 0 {
+		e := ts.rob.Tail()
+		if e.Seq <= boundary {
+			break
+		}
+		ts.rob.PopTail()
+		if e.DstPhys >= 0 {
+			reg := e.Uop.Dst
+			if e.IsCopy() {
+				reg = e.CopyLogReg
+			}
+			ts.rat.Set(reg, e.OldMap)
+			p.rfs[e.Cluster].Free(e.DstKind, t, e.DstPhys)
+		}
+		if !e.Issued {
+			if !p.iqs[iqCluster(e)].Remove(e) {
+				panic("core: squashed unissued uop missing from issue queue")
+			}
+		}
+		if e.MOBEntry != nil {
+			p.mobq.Release(e.MOBEntry)
+			e.MOBEntry = nil
+		}
+		if e.MissNotified {
+			// The fill is still in flight in the memory system but the
+			// policy must not keep the thread gated on a dead load.
+			p.notifyMissEnd(t)
+			e.MissNotified = false
+		}
+		if e.Uop.Class == isa.Branch && !e.WrongPath {
+			// Walking tail->head, the last one recorded is the oldest.
+			ckpt = e.HistCheckpoint
+			haveCkpt = true
+		}
+		e.Squashed = true
+		if !e.InWheel {
+			p.putEntry(e)
+		}
+		p.stats.Squashed++
+	}
+	return ckpt, haveCkpt
+}
+
+// resolveBranch handles a branch completing execution: predictor training
+// and, on misprediction, squash + front-end redirect with the Table 1
+// 14-cycle misprediction pipeline penalty.
+func (p *Processor) resolveBranch(e *frontend.ROBEntry) {
+	t := e.Thread
+	p.pred.Resolve(t, e.Uop.PC, e.HistCheckpoint, e.Uop.Taken, e.Mispredicted)
+	if !e.Mispredicted {
+		return
+	}
+	p.stats.Mispredicts++
+	ts := p.threads[t]
+	p.squashAfter(t, e.Seq)
+	// Resolve() already rewound the history and pushed the actual
+	// outcome; the squashed suffix contained only wrong-path uops.
+	ts.fq.Clear()
+	ts.wrongPath = false
+	ts.fetchIdx = e.TraceIdx + 1
+	ts.fetchStallUntil = p.now + int64(p.cfg.MispredictPenalty)
+}
+
+// handleFlushes performs any thread flush requested by the selector
+// (Flush+): squash everything younger than the missing load, clear the
+// fetch queue and re-fetch from the uop after the load once the front-end
+// redirect penalty elapses.
+func (p *Processor) handleFlushes() {
+	for {
+		t, seq, ok := p.sel.PendingFlush()
+		if !ok {
+			return
+		}
+		p.sel.FlushDone(t)
+		ts := p.threads[t]
+		// Locate the boundary load; it may already be gone (squashed by
+		// an older branch) in which case the flush is moot.
+		var boundary *frontend.ROBEntry
+		for i := 0; i < ts.rob.Len(); i++ {
+			if e := ts.rob.At(i); e.Seq == seq {
+				boundary = e
+				break
+			}
+		}
+		if boundary == nil {
+			continue
+		}
+		if boundary.TraceIdx < 0 {
+			// A wrong-path load triggered the miss; the branch resolve
+			// will redirect fetch, so only release the younger resources.
+			p.squashAfter(t, seq)
+			p.stats.Flushes++
+			continue
+		}
+		// Branches sitting unrenamed in the fetch queue also pushed
+		// speculative history; the oldest squashed branch wins the rewind.
+		var fqCkpt uint64
+		fqHave := false
+		robCkpt, robHave := p.squashAfter(t, seq)
+		ts.fq.Each(func(u *frontend.FetchedUop) bool {
+			if u.Uop.Class == isa.Branch && !u.WrongPath && !fqHave {
+				fqCkpt = u.HistCheckpoint
+				fqHave = true
+			}
+			return true
+		})
+		switch {
+		case robHave:
+			p.pred.RestoreHistory(t, robCkpt)
+		case fqHave:
+			p.pred.RestoreHistory(t, fqCkpt)
+		}
+		ts.fq.Clear()
+		ts.wrongPath = false
+		ts.fetchIdx = boundary.TraceIdx + 1
+		ts.fetchStallUntil = p.now + int64(p.cfg.MispredictPenalty)
+		p.stats.Flushes++
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/workload"
+)
+
+func tinyOptions() Options {
+	return Options{Categories: []string{"ispec00", "isfs"}, MaxPerCategory: 2}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(2000)
+	var executed int32
+	r.Verbose = func(string) { atomic.AddInt32(&executed, 1) }
+	w := workload.ByCategory("ispec00")[0]
+	spec := iqStudySpec(w, "icount", 32)
+	a, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second run not served from cache")
+	}
+	if executed != 1 {
+		t.Errorf("executed %d times, want 1", executed)
+	}
+}
+
+func TestSpecKeyDistinguishesDimensions(t *testing.T) {
+	w := workload.ByCategory("ispec00")[0]
+	base := iqStudySpec(w, "icount", 32)
+	variants := []Spec{
+		iqStudySpec(w, "cssp", 32),
+		iqStudySpec(w, "icount", 64),
+		rfStudySpec(w, "icount", 64),
+		{Workload: w, Scheme: "icount", IQSize: 32, SingleThread: 0},
+	}
+	for i, v := range variants {
+		if v.key() == base.key() {
+			t.Errorf("variant %d collides with base key %q", i, base.key())
+		}
+	}
+}
+
+func TestOptionsSubsetBalanced(t *testing.T) {
+	o := Options{MaxPerCategory: 3}
+	ws := o.workloads("ispec00")
+	if len(ws) != 3 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+	types := map[workload.Type]bool{}
+	for _, w := range ws {
+		types[w.Type] = true
+	}
+	if len(types) != 3 {
+		t.Errorf("capped subset covers %d types, want all 3", len(types))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if len(o.categories()) != len(workload.Categories) {
+		t.Error("default categories should be all")
+	}
+	if len(o.all()) != 120 {
+		t.Errorf("default pool %d, want 120", len(o.all()))
+	}
+}
+
+func TestRunAllPreservesOrder(t *testing.T) {
+	r := NewRunner(1500)
+	o := tinyOptions()
+	var specs []Spec
+	for _, w := range o.all() {
+		specs = append(specs, iqStudySpec(w, "icount", 32))
+	}
+	out, err := r.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range out {
+		direct, _ := r.Run(specs[i])
+		if st != direct {
+			t.Errorf("result %d out of order", i)
+		}
+	}
+}
+
+func TestFig2SeriesComplete(t *testing.T) {
+	r := NewRunner(2000)
+	o := tinyOptions()
+	cs, err := Fig2(r, o, []string{"icount", "cssp"}, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Categories) != 3 { // 2 categories + AVG
+		t.Fatalf("categories %v", cs.Categories)
+	}
+	for _, s := range []string{"icount/32", "cssp/32"} {
+		for _, cat := range cs.Categories {
+			if _, ok := cs.Values[s][cat]; !ok {
+				t.Errorf("missing %s/%s", s, cat)
+			}
+		}
+	}
+	// Per-construction the baseline normalizes to exactly 1 per workload.
+	if v := cs.Values["icount/32"]["AVG"]; v != 1 {
+		t.Errorf("baseline AVG %v, want 1", v)
+	}
+}
+
+func TestFig3And4Nonnegative(t *testing.T) {
+	r := NewRunner(2000)
+	o := tinyOptions()
+	f3, err := Fig3(r, o, []string{"icount", "pc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.Values["pc"]["AVG"] != 0 {
+		t.Errorf("PC copies/ret = %v, private clusters never copy", f3.Values["pc"]["AVG"])
+	}
+	if f3.Values["icount"]["AVG"] <= 0 {
+		t.Error("icount should produce copies")
+	}
+	f4, err := Fig4(r, o, []string{"icount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4.Values["icount"]["AVG"] < 0 {
+		t.Error("negative stall ratio")
+	}
+}
+
+func TestFig5FractionsBounded(t *testing.T) {
+	r := NewRunner(2000)
+	o := tinyOptions()
+	res, err := Fig5(r, o, []string{"icount", "cssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cat, byScheme := range res.Frac {
+		for s, m := range byScheme {
+			for k := 0; k < metrics.NumImbClasses; k++ {
+				for kind := 0; kind < 2; kind++ {
+					v := m[k][kind]
+					if v < 0 || v > 1 {
+						t.Errorf("%s/%s class %d kind %d = %v outside [0,1]", cat, s, k, kind, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFig9RowsComplete(t *testing.T) {
+	r := NewRunner(1500)
+	o := Options{Categories: []string{"isfs"}, MaxPerCategory: 2}
+	res, err := Fig9(r, o, []string{"cssp", "cdprf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 4 { // 2 workloads + AVG + AVG All
+		t.Fatalf("rows %v", res.Workloads)
+	}
+	last := res.Workloads[len(res.Workloads)-1]
+	if last != "AVG All" {
+		t.Errorf("last row %q", last)
+	}
+	for _, row := range res.Workloads {
+		for _, s := range res.Schemes {
+			if res.Speedup[row][s] <= 0 {
+				t.Errorf("%s/%s speedup %v", row, s, res.Speedup[row][s])
+			}
+		}
+	}
+}
+
+func TestFig10FairnessPositive(t *testing.T) {
+	r := NewRunner(1500)
+	o := Options{Categories: []string{"ispec00"}, MaxPerCategory: 2}
+	cs, err := Fig10(r, o, []string{"cssp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Values["cssp"]["AVG"] <= 0 {
+		t.Errorf("fairness ratio %v", cs.Values["cssp"]["AVG"])
+	}
+}
+
+func TestHeadlineRuns(t *testing.T) {
+	r := NewRunner(1500)
+	h, err := Headline(r, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CDPRFSpeedup <= 0 || h.CSSPSpeedup <= 0 || h.FairnessRatio <= 0 {
+		t.Errorf("degenerate headline %+v", h)
+	}
+	if h.BestCategory == "" {
+		t.Error("no best category")
+	}
+}
+
+func TestFutureWorkRuns(t *testing.T) {
+	r := NewRunner(1500)
+	out, err := FutureWork(r, Options{Categories: []string{"ispec00"}, MaxPerCategory: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"cssp", "cdprf", "dcra", "hillclimb"} {
+		if out[s] <= 0 {
+			t.Errorf("%s speedup %v", s, out[s])
+		}
+	}
+}

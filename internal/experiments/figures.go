@@ -1,0 +1,654 @@
+package experiments
+
+import (
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/workload"
+)
+
+// Options selects the workload subset an experiment runs on. The zero value
+// reproduces the paper's full pool.
+type Options struct {
+	// Categories restricts to the named categories (nil = all 11).
+	Categories []string
+	// MaxPerCategory caps workloads per category (0 = all); quick modes
+	// and benchmarks use small caps.
+	MaxPerCategory int
+}
+
+// categories returns the selected category keys in paper order.
+func (o Options) categories() []string {
+	if len(o.Categories) == 0 {
+		return workload.Categories
+	}
+	return o.Categories
+}
+
+// workloads returns the selected workloads of one category. When capped,
+// the subset covers the ILP/MEM/MIX types round-robin so a reduced pool
+// keeps the category's behavioural spread.
+func (o Options) workloads(cat string) []workload.Workload {
+	ws := workload.ByCategory(cat)
+	if o.MaxPerCategory <= 0 || len(ws) <= o.MaxPerCategory {
+		return ws
+	}
+	byType := map[workload.Type][]workload.Workload{}
+	var order []workload.Type
+	for _, w := range ws {
+		if len(byType[w.Type]) == 0 {
+			order = append(order, w.Type)
+		}
+		byType[w.Type] = append(byType[w.Type], w)
+	}
+	var out []workload.Workload
+	for len(out) < o.MaxPerCategory {
+		progressed := false
+		for _, ty := range order {
+			if len(byType[ty]) == 0 {
+				continue
+			}
+			out = append(out, byType[ty][0])
+			byType[ty] = byType[ty][1:]
+			progressed = true
+			if len(out) == o.MaxPerCategory {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// all returns every selected workload.
+func (o Options) all() []workload.Workload {
+	var out []workload.Workload
+	for _, cat := range o.categories() {
+		out = append(out, o.workloads(cat)...)
+	}
+	return out
+}
+
+// The experiment configurations of §5:
+//
+//   - the issue-queue study (§5.1, Figs. 2–5) unbounds the register file
+//     and ROB "to avoid side effects on these components";
+//   - the register-file study (§5.2, Figs. 6, 9, 10) uses the full Table 1
+//     machine: 32-entry IQs, 128-entry per-thread ROBs, bounded register
+//     files of 64 or 128 registers per kind per cluster.
+const (
+	unbounded = 0
+	boundROB  = 128
+)
+
+// iqStudySpec returns the §5.1 spec for a workload/scheme at an IQ size.
+func iqStudySpec(w workload.Workload, scheme string, iq int) Spec {
+	return Spec{Workload: w, Scheme: scheme, IQSize: iq,
+		RegsPerClust: unbounded, ROBPerThread: unbounded, SingleThread: -1}
+}
+
+// rfStudySpec returns the §5.2 spec at a register-file size.
+func rfStudySpec(w workload.Workload, scheme string, regs int) Spec {
+	return Spec{Workload: w, Scheme: scheme, IQSize: 32,
+		RegsPerClust: regs, ROBPerThread: boundROB, SingleThread: -1}
+}
+
+// CategorySeries holds one value per category plus the overall average,
+// keyed as the figures label them.
+type CategorySeries struct {
+	// Categories is the row order (display names, ending with "AVG").
+	Categories []string
+	// Values maps series name -> category display name -> value.
+	Values map[string]map[string]float64
+}
+
+// newCategorySeries prepares a series container for the options' categories.
+func newCategorySeries(o Options, seriesNames []string) *CategorySeries {
+	cs := &CategorySeries{Values: map[string]map[string]float64{}}
+	for _, cat := range o.categories() {
+		cs.Categories = append(cs.Categories, workload.DisplayName(cat))
+	}
+	cs.Categories = append(cs.Categories, "AVG")
+	for _, s := range seriesNames {
+		cs.Values[s] = map[string]float64{}
+	}
+	return cs
+}
+
+// Fig2 reproduces Figure 2: throughput of the seven issue-queue schemes at
+// 32 and 64 IQ entries per cluster, normalized per workload to Icount with
+// 32 entries, averaged per category. Series are named "<scheme>/<iq>".
+func Fig2(r *Runner, o Options, schemes []string, iqSizes []int) (*CategorySeries, error) {
+	var names []string
+	for _, s := range schemes {
+		for _, iq := range iqSizes {
+			names = append(names, seriesName(s, iq))
+		}
+	}
+	cs := newCategorySeries(o, names)
+
+	// Warm the cache in parallel across every needed run.
+	var specs []Spec
+	for _, w := range o.all() {
+		specs = append(specs, iqStudySpec(w, "icount", 32))
+		for _, s := range schemes {
+			for _, iq := range iqSizes {
+				specs = append(specs, iqStudySpec(w, s, iq))
+			}
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+
+	perSeries := map[string][]float64{} // overall AVG accumulators
+	for _, cat := range o.categories() {
+		disp := workload.DisplayName(cat)
+		acc := map[string][]float64{}
+		for _, w := range o.workloads(cat) {
+			base, err := r.Run(iqStudySpec(w, "icount", 32))
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range schemes {
+				for _, iq := range iqSizes {
+					st, err := r.Run(iqStudySpec(w, s, iq))
+					if err != nil {
+						return nil, err
+					}
+					sp := st.IPC() / base.IPC()
+					name := seriesName(s, iq)
+					acc[name] = append(acc[name], sp)
+					perSeries[name] = append(perSeries[name], sp)
+				}
+			}
+		}
+		for name, xs := range acc {
+			cs.Values[name][disp] = mean(xs)
+		}
+	}
+	for name, xs := range perSeries {
+		cs.Values[name]["AVG"] = mean(xs)
+	}
+	return cs, nil
+}
+
+func seriesName(scheme string, iq int) string {
+	return scheme + "/" + itoa(iq)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// perWorkloadMetric averages fn over each category's workloads for the
+// §5.1 configuration (32-entry IQs, unbounded RF/ROB).
+func perWorkloadMetric(r *Runner, o Options, schemes []string, fn func(*metrics.Stats) float64) (*CategorySeries, error) {
+	cs := newCategorySeries(o, schemes)
+	var specs []Spec
+	for _, w := range o.all() {
+		for _, s := range schemes {
+			specs = append(specs, iqStudySpec(w, s, 32))
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+	perScheme := map[string][]float64{}
+	for _, cat := range o.categories() {
+		disp := workload.DisplayName(cat)
+		for _, s := range schemes {
+			var xs []float64
+			for _, w := range o.workloads(cat) {
+				st, err := r.Run(iqStudySpec(w, s, 32))
+				if err != nil {
+					return nil, err
+				}
+				xs = append(xs, fn(st))
+			}
+			cs.Values[s][disp] = mean(xs)
+			perScheme[s] = append(perScheme[s], xs...)
+		}
+	}
+	for s, xs := range perScheme {
+		cs.Values[s]["AVG"] = mean(xs)
+	}
+	return cs, nil
+}
+
+// Fig3 reproduces Figure 3: inter-cluster copies per retired instruction
+// per scheme at 32 IQ entries.
+func Fig3(r *Runner, o Options, schemes []string) (*CategorySeries, error) {
+	return perWorkloadMetric(r, o, schemes, func(st *metrics.Stats) float64 {
+		return st.CopiesPerRetired()
+	})
+}
+
+// Fig4 reproduces Figure 4: issue-queue stalls per retired instruction.
+func Fig4(r *Runner, o Options, schemes []string) (*CategorySeries, error) {
+	return perWorkloadMetric(r, o, schemes, func(st *metrics.Stats) float64 {
+		return st.IQStallsPerRetired()
+	})
+}
+
+// ImbalanceCell is one stacked-bar segment of Figure 5.
+type ImbalanceCell struct {
+	// Class is the instruction group (Integer, Fp/Simd, Mem).
+	Class metrics.ImbClass
+	// Kind is 0 (could not execute anywhere) or 1 (other cluster had a
+	// free compatible port: true workload imbalance).
+	Kind int
+}
+
+// Fig5Result maps category -> scheme -> the six stacked fractions.
+type Fig5Result struct {
+	Categories []string
+	Schemes    []string
+	// Frac[cat][scheme][class][kind] is the fraction of issuing cycles.
+	Frac map[string]map[string][metrics.NumImbClasses][2]float64
+}
+
+// Fig5 reproduces Figure 5: the workload-imbalance breakdown for Icount,
+// CISP, CSSP and PC at 32 IQ entries.
+func Fig5(r *Runner, o Options, schemes []string) (*Fig5Result, error) {
+	res := &Fig5Result{
+		Schemes: schemes,
+		Frac:    map[string]map[string][metrics.NumImbClasses][2]float64{},
+	}
+	var specs []Spec
+	for _, w := range o.all() {
+		for _, s := range schemes {
+			specs = append(specs, iqStudySpec(w, s, 32))
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+	for _, cat := range append(append([]string{}, o.categories()...), "__avg__") {
+		var cats []string
+		var disp string
+		if cat == "__avg__" {
+			cats = o.categories()
+			disp = "AVG"
+		} else {
+			cats = []string{cat}
+			disp = workload.DisplayName(cat)
+		}
+		res.Categories = append(res.Categories, disp)
+		byScheme := map[string][metrics.NumImbClasses][2]float64{}
+		for _, s := range schemes {
+			var agg [metrics.NumImbClasses][2]float64
+			var n float64
+			for _, c := range cats {
+				for _, w := range o.workloads(c) {
+					st, err := r.Run(iqStudySpec(w, s, 32))
+					if err != nil {
+						return nil, err
+					}
+					for k := 0; k < metrics.NumImbClasses; k++ {
+						for kind := 0; kind < 2; kind++ {
+							agg[k][kind] += st.ImbalanceFrac(metrics.ImbClass(k), kind)
+						}
+					}
+					n++
+				}
+			}
+			if n > 0 {
+				for k := range agg {
+					agg[k][0] /= n
+					agg[k][1] /= n
+				}
+			}
+			byScheme[s] = agg
+		}
+		res.Frac[disp] = byScheme
+	}
+	return res, nil
+}
+
+// Fig6 reproduces Figure 6: throughput of CSSP, CSSPRF and CISPRF with 64
+// and 128 registers per kind per cluster, normalized per workload to Icount
+// with 64 registers, averaged per category. Series "<scheme>/<regs>".
+func Fig6(r *Runner, o Options, schemes []string, regSizes []int) (*CategorySeries, error) {
+	var names []string
+	for _, s := range schemes {
+		for _, rg := range regSizes {
+			names = append(names, seriesName(s, rg))
+		}
+	}
+	cs := newCategorySeries(o, names)
+	var specs []Spec
+	for _, w := range o.all() {
+		specs = append(specs, rfStudySpec(w, "icount", 64))
+		for _, s := range schemes {
+			for _, rg := range regSizes {
+				specs = append(specs, rfStudySpec(w, s, rg))
+			}
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+	perSeries := map[string][]float64{}
+	for _, cat := range o.categories() {
+		disp := workload.DisplayName(cat)
+		acc := map[string][]float64{}
+		for _, w := range o.workloads(cat) {
+			base, err := r.Run(rfStudySpec(w, "icount", 64))
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range schemes {
+				for _, rg := range regSizes {
+					st, err := r.Run(rfStudySpec(w, s, rg))
+					if err != nil {
+						return nil, err
+					}
+					sp := st.IPC() / base.IPC()
+					acc[seriesName(s, rg)] = append(acc[seriesName(s, rg)], sp)
+					perSeries[seriesName(s, rg)] = append(perSeries[seriesName(s, rg)], sp)
+				}
+			}
+		}
+		for name, xs := range acc {
+			cs.Values[name][disp] = mean(xs)
+		}
+	}
+	for name, xs := range perSeries {
+		cs.Values[name]["AVG"] = mean(xs)
+	}
+	return cs, nil
+}
+
+// Fig9Result is the per-workload CDPRF study on ISPEC-FSPEC.
+type Fig9Result struct {
+	// Workloads lists ISPEC-FSPEC workload names plus "AVG" and "AVG All".
+	Workloads []string
+	Schemes   []string
+	// Speedup[workload][scheme] is IPC normalized to Icount (64 regs).
+	Speedup map[string]map[string]float64
+}
+
+// Fig9 reproduces Figure 9: CSSP, CSSPRF, CISPRF and CDPRF on every
+// ISPEC-FSPEC workload (64 registers per cluster), normalized to Icount,
+// plus the category average and the all-categories average.
+func Fig9(r *Runner, o Options, schemes []string) (*Fig9Result, error) {
+	res := &Fig9Result{Schemes: schemes, Speedup: map[string]map[string]float64{}}
+	isfs := o.workloads("isfs")
+	var specs []Spec
+	for _, w := range isfs {
+		specs = append(specs, rfStudySpec(w, "icount", 64))
+		for _, s := range schemes {
+			specs = append(specs, rfStudySpec(w, s, 64))
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+	catAcc := map[string][]float64{}
+	for _, w := range isfs {
+		base, err := r.Run(rfStudySpec(w, "icount", 64))
+		if err != nil {
+			return nil, err
+		}
+		row := map[string]float64{}
+		for _, s := range schemes {
+			st, err := r.Run(rfStudySpec(w, s, 64))
+			if err != nil {
+				return nil, err
+			}
+			row[s] = st.IPC() / base.IPC()
+			catAcc[s] = append(catAcc[s], row[s])
+		}
+		res.Workloads = append(res.Workloads, w.Name)
+		res.Speedup[w.Name] = row
+	}
+	avg := map[string]float64{}
+	for _, s := range schemes {
+		avg[s] = mean(catAcc[s])
+	}
+	res.Workloads = append(res.Workloads, "AVG")
+	res.Speedup["AVG"] = avg
+
+	// "AVG All": the same normalized speedups over every category.
+	allAcc := map[string][]float64{}
+	var specsAll []Spec
+	for _, w := range o.all() {
+		specsAll = append(specsAll, rfStudySpec(w, "icount", 64))
+		for _, s := range schemes {
+			specsAll = append(specsAll, rfStudySpec(w, s, 64))
+		}
+	}
+	if _, err := r.RunAll(specsAll); err != nil {
+		return nil, err
+	}
+	for _, w := range o.all() {
+		base, err := r.Run(rfStudySpec(w, "icount", 64))
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range schemes {
+			st, err := r.Run(rfStudySpec(w, s, 64))
+			if err != nil {
+				return nil, err
+			}
+			allAcc[s] = append(allAcc[s], st.IPC()/base.IPC())
+		}
+	}
+	avgAll := map[string]float64{}
+	for _, s := range schemes {
+		avgAll[s] = mean(allAcc[s])
+	}
+	res.Workloads = append(res.Workloads, "AVG All")
+	res.Speedup["AVG All"] = avgAll
+	return res, nil
+}
+
+// singleIPC returns each thread's stand-alone IPC on the §5.2 machine.
+func (r *Runner) singleIPC(w workload.Workload) ([]float64, error) {
+	out := make([]float64, len(w.Threads))
+	for t := range w.Threads {
+		st, err := r.Run(Spec{Workload: w, Scheme: "icount", IQSize: 32,
+			RegsPerClust: 64, ROBPerThread: boundROB, SingleThread: t})
+		if err != nil {
+			return nil, err
+		}
+		out[t] = st.IPC()
+	}
+	return out, nil
+}
+
+// fairnessOf computes the §4 fairness metric of one workload under scheme.
+func (r *Runner) fairnessOf(w workload.Workload, scheme string) (float64, error) {
+	single, err := r.singleIPC(w)
+	if err != nil {
+		return 0, err
+	}
+	st, err := r.Run(rfStudySpec(w, scheme, 64))
+	if err != nil {
+		return 0, err
+	}
+	smt := make([]float64, len(w.Threads))
+	for t := range smt {
+		smt[t] = st.ThreadIPC(t)
+	}
+	return metrics.Fairness(single, smt), nil
+}
+
+// Fig10 reproduces Figure 10: the fairness of Stall, Flush+, CSSP and
+// CDPRF relative to Icount, per category (64 registers per cluster).
+func Fig10(r *Runner, o Options, schemes []string) (*CategorySeries, error) {
+	cs := newCategorySeries(o, schemes)
+	var specs []Spec
+	for _, w := range o.all() {
+		for t := range w.Threads {
+			specs = append(specs, Spec{Workload: w, Scheme: "icount", IQSize: 32,
+				RegsPerClust: 64, ROBPerThread: boundROB, SingleThread: t})
+		}
+		specs = append(specs, rfStudySpec(w, "icount", 64))
+		for _, s := range schemes {
+			specs = append(specs, rfStudySpec(w, s, 64))
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+	perScheme := map[string][]float64{}
+	for _, cat := range o.categories() {
+		disp := workload.DisplayName(cat)
+		acc := map[string][]float64{}
+		for _, w := range o.workloads(cat) {
+			baseFair, err := r.fairnessOf(w, "icount")
+			if err != nil {
+				return nil, err
+			}
+			if baseFair <= 0 {
+				continue
+			}
+			for _, s := range schemes {
+				f, err := r.fairnessOf(w, s)
+				if err != nil {
+					return nil, err
+				}
+				ratio := f / baseFair
+				acc[s] = append(acc[s], ratio)
+				perScheme[s] = append(perScheme[s], ratio)
+			}
+		}
+		for s, xs := range acc {
+			cs.Values[s][disp] = mean(xs)
+		}
+	}
+	for s, xs := range perScheme {
+		cs.Values[s]["AVG"] = mean(xs)
+	}
+	return cs, nil
+}
+
+// HeadlineResult is the paper's §1/§6 summary claim.
+type HeadlineResult struct {
+	// CSSPSpeedup and CDPRFSpeedup are mean per-workload throughput
+	// speedups vs Icount on the Table 1 machine (64 regs/cluster).
+	CSSPSpeedup, CDPRFSpeedup float64
+	// FairnessRatio is CDPRF's mean fairness relative to Icount.
+	FairnessRatio float64
+	// BestCategory and BestCategorySpeedup report CDPRF's best category.
+	BestCategory        string
+	BestCategorySpeedup float64
+}
+
+// Headline reproduces the headline numbers: "17.6% average speedup versus
+// Icount improving fairness in 24%", with up to 40% for some category.
+func Headline(r *Runner, o Options) (*HeadlineResult, error) {
+	res := &HeadlineResult{}
+	var cssp, cdprf, fair []float64
+	catAcc := map[string][]float64{}
+	var specs []Spec
+	for _, w := range o.all() {
+		for _, s := range []string{"icount", "cssp", "cdprf"} {
+			specs = append(specs, rfStudySpec(w, s, 64))
+		}
+		for t := range w.Threads {
+			specs = append(specs, Spec{Workload: w, Scheme: "icount", IQSize: 32,
+				RegsPerClust: 64, ROBPerThread: boundROB, SingleThread: t})
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+	for _, cat := range o.categories() {
+		for _, w := range o.workloads(cat) {
+			base, err := r.Run(rfStudySpec(w, "icount", 64))
+			if err != nil {
+				return nil, err
+			}
+			stCSSP, err := r.Run(rfStudySpec(w, "cssp", 64))
+			if err != nil {
+				return nil, err
+			}
+			stCD, err := r.Run(rfStudySpec(w, "cdprf", 64))
+			if err != nil {
+				return nil, err
+			}
+			cssp = append(cssp, stCSSP.IPC()/base.IPC())
+			sp := stCD.IPC() / base.IPC()
+			cdprf = append(cdprf, sp)
+			catAcc[cat] = append(catAcc[cat], sp)
+			bf, err := r.fairnessOf(w, "icount")
+			if err != nil {
+				return nil, err
+			}
+			if bf > 0 {
+				f, err := r.fairnessOf(w, "cdprf")
+				if err != nil {
+					return nil, err
+				}
+				fair = append(fair, f/bf)
+			}
+		}
+	}
+	res.CSSPSpeedup = mean(cssp)
+	res.CDPRFSpeedup = mean(cdprf)
+	res.FairnessRatio = mean(fair)
+	for cat, xs := range catAcc {
+		if m := mean(xs); m > res.BestCategorySpeedup {
+			res.BestCategorySpeedup = m
+			res.BestCategory = workload.DisplayName(cat)
+		}
+	}
+	return res, nil
+}
+
+// FutureWork compares CDPRF against the §6 future-work adaptations (DCRA
+// and hill-climbing, cluster-aware per this paper's conclusions) as mean
+// speedup vs Icount on the Table 1 machine.
+func FutureWork(r *Runner, o Options) (map[string]float64, error) {
+	schemes := []string{"cssp", "cdprf", "dcra", "hillclimb"}
+	var specs []Spec
+	for _, w := range o.all() {
+		specs = append(specs, rfStudySpec(w, "icount", 64))
+		for _, s := range schemes {
+			specs = append(specs, rfStudySpec(w, s, 64))
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+	acc := map[string][]float64{}
+	for _, w := range o.all() {
+		base, err := r.Run(rfStudySpec(w, "icount", 64))
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range schemes {
+			st, err := r.Run(rfStudySpec(w, s, 64))
+			if err != nil {
+				return nil, err
+			}
+			acc[s] = append(acc[s], st.IPC()/base.IPC())
+		}
+	}
+	out := map[string]float64{}
+	for s, xs := range acc {
+		out[s] = mean(xs)
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Package experiments defines one reproduction per paper figure/table
+// (the index lives in DESIGN.md §4) on top of a memoizing, parallel
+// simulation runner. Every figure is a pure function of the runner, so the
+// expdriver binary, the test suite and the benchmark harness share runs.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clustersmt/internal/core"
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+// Spec identifies one simulation: a workload under a scheme on a machine
+// configuration. SingleThread >= 0 runs that thread alone (the fairness
+// baseline); -1 runs the full SMT workload.
+type Spec struct {
+	Workload     workload.Workload
+	Scheme       string
+	IQSize       int
+	RegsPerClust int // 0 = unbounded
+	ROBPerThread int // 0 = unbounded
+	SingleThread int // -1 = SMT
+}
+
+func (s Spec) key() string {
+	return fmt.Sprintf("%s|%s|iq%d|rf%d|rob%d|st%d",
+		s.Workload.Name, s.Scheme, s.IQSize, s.RegsPerClust, s.ROBPerThread, s.SingleThread)
+}
+
+// Runner executes Specs with memoization and a bounded worker pool.
+// It is safe for concurrent use.
+type Runner struct {
+	// TraceLen is the per-thread trace length in uops.
+	TraceLen int
+	// MaxCycles bounds each simulation.
+	MaxCycles int64
+	// Workers bounds simulation parallelism (default: NumCPU).
+	Workers int
+	// Verbose, when set, receives one line per completed run.
+	Verbose func(string)
+
+	mu    sync.Mutex
+	cache map[string]*metrics.Stats
+}
+
+// NewRunner returns a runner with the given per-thread trace length.
+func NewRunner(traceLen int) *Runner {
+	return &Runner{
+		TraceLen:  traceLen,
+		MaxCycles: int64(traceLen) * 40,
+		cache:     make(map[string]*metrics.Stats),
+	}
+}
+
+// buildPrograms materializes the workload's traces (or a single thread's).
+func buildPrograms(w workload.Workload, traceLen, single int) []core.ThreadProgram {
+	var progs []core.ThreadProgram
+	for i, prof := range w.Threads {
+		if single >= 0 && i != single {
+			continue
+		}
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, core.ThreadProgram{
+			Trace:   g.Generate(traceLen),
+			Profile: prof,
+			Seed:    w.Seeds[i] ^ 0xabcdef,
+		})
+	}
+	return progs
+}
+
+// execute runs one spec to completion (uncached).
+func (r *Runner) execute(s Spec) (*metrics.Stats, error) {
+	n := len(s.Workload.Threads)
+	if s.SingleThread >= 0 {
+		n = 1
+	}
+	cfg := core.DefaultConfig(n)
+	cfg.IQSize = s.IQSize
+	cfg.IntRegsPerCluster = s.RegsPerClust
+	cfg.FpRegsPerCluster = s.RegsPerClust
+	cfg.ROBPerThread = s.ROBPerThread
+	cfg.MaxCycles = r.MaxCycles
+	cfg.WarmupUops = uint64(r.TraceLen / 5)
+	p, err := core.NewScheme(cfg, s.Scheme, buildPrograms(s.Workload, r.TraceLen, s.SingleThread))
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(), nil
+}
+
+// Run executes (or recalls) one spec.
+func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
+	k := s.key()
+	r.mu.Lock()
+	if st, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return st, nil
+	}
+	r.mu.Unlock()
+	st, err := r.execute(s)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[k] = st
+	r.mu.Unlock()
+	if r.Verbose != nil {
+		r.Verbose(fmt.Sprintf("%-60s ipc=%.3f", k, st.IPC()))
+	}
+	return st, nil
+}
+
+// RunAll executes specs on a worker pool and returns stats in spec order.
+func (r *Runner) RunAll(specs []Spec) ([]*metrics.Stats, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*metrics.Stats, len(specs))
+	errs := make([]error, len(specs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i], errs[i] = r.Run(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// mean returns the arithmetic mean of xs (0 for empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}

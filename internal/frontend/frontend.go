@@ -1,0 +1,275 @@
+// Package frontend provides the front-end and bookkeeping structures of the
+// baseline machine (§3): per-thread fetch queues (the private queues inside
+// the thread-selection component), per-thread register alias tables that
+// track in which cluster(s) each logical register has a live physical copy,
+// and the per-thread ROB sections.
+package frontend
+
+import (
+	"clustersmt/internal/isa"
+	"clustersmt/internal/mob"
+)
+
+// MaxClusters bounds the number of clusters the per-register cluster masks
+// support. The paper's machine has two; four leaves headroom for studies.
+const MaxClusters = 4
+
+// RegMap records where a logical register's current value lives: a valid
+// bit and physical index per cluster. A register with no valid bits reads
+// its architectural (pre-trace) value and is always ready.
+type RegMap struct {
+	Valid [MaxClusters]bool
+	Phys  [MaxClusters]int32
+}
+
+// AnyValid reports whether any cluster holds a live copy.
+func (m *RegMap) AnyValid() bool {
+	for _, v := range m.Valid {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// RAT is one thread's register alias table.
+type RAT struct {
+	maps [isa.NumLogicalRegs]RegMap
+}
+
+// Get returns the mapping of logical register r.
+func (r *RAT) Get(reg int16) RegMap { return r.maps[reg] }
+
+// Set replaces the mapping of logical register reg.
+func (r *RAT) Set(reg int16, m RegMap) { r.maps[reg] = m }
+
+// SetCluster adds/overwrites the mapping of reg in cluster c.
+func (r *RAT) SetCluster(reg int16, c int, phys int32) {
+	r.maps[reg].Valid[c] = true
+	r.maps[reg].Phys[c] = phys
+}
+
+// Define makes reg live only in cluster c at phys (a new architectural
+// definition kills copies in other clusters).
+func (r *RAT) Define(reg int16, c int, phys int32) {
+	var m RegMap
+	m.Valid[c] = true
+	m.Phys[c] = phys
+	r.maps[reg] = m
+}
+
+// ROBEntry is one in-flight uop. Entries are pooled by the core; the
+// Reset method restores a pooled entry to a blank state.
+type ROBEntry struct {
+	Uop    isa.Uop
+	Thread int
+	// Seq is the per-thread program-order sequence number.
+	Seq uint64
+	// ID is a globally unique, monotonically increasing age tag used for
+	// oldest-first issue selection.
+	ID uint64
+	// TraceIdx is the index of the uop in its thread's trace, or -1 for
+	// wrong-path and copy uops.
+	TraceIdx  int
+	WrongPath bool
+	// Cluster is the back-end cluster the uop was steered to.
+	Cluster int
+
+	Issued    bool
+	Completed bool
+	Squashed  bool
+
+	// Destination register allocation; DstPhys < 0 when the uop writes no
+	// register.
+	DstKind isa.RegKind
+	DstPhys int32
+	// OldMap is the destination logical register's mapping before this
+	// uop renamed it, used for freeing at commit and rollback at squash.
+	OldMap RegMap
+
+	// Branch state.
+	PredTaken      bool
+	Mispredicted   bool
+	HistCheckpoint uint64
+
+	// Memory state. MissNotified is set while the miss-start event sent to
+	// the policies has not yet been balanced by a miss-end (completion or
+	// squash).
+	MOBEntry     *mob.Entry
+	MissedL2     bool
+	MissNotified bool
+
+	// InWheel marks an entry with a pending completion event; squashed
+	// entries stay owned by the event wheel until it drops them.
+	InWheel bool
+
+	// Copy state: the value is read from CopySrcPhys in cluster SrcCluster
+	// and written to DstPhys in Cluster. CopyLogReg is the logical register
+	// being replicated (needed to undo the RAT update on squash).
+	SrcCluster  int
+	CopySrcPhys int32
+	CopyLogReg  int16
+
+	// Renamed source operands. A negative physical index means the source
+	// is immediately ready (architectural live-in). Sources of non-copy
+	// uops always live in the entry's own cluster (copies were inserted
+	// to guarantee it).
+	NumSrc  int
+	SrcPhys [2]int32
+	SrcKind [2]isa.RegKind
+}
+
+// Reset blanks e for reuse from a pool.
+func (e *ROBEntry) Reset() {
+	*e = ROBEntry{DstPhys: -1, CopySrcPhys: -1, TraceIdx: -1}
+	e.SrcPhys[0], e.SrcPhys[1] = -1, -1
+}
+
+// IsCopy reports whether the entry is an inter-cluster copy.
+func (e *ROBEntry) IsCopy() bool { return e.Uop.Class == isa.Copy }
+
+// ROB is one thread's reorder-buffer section (§3: the ROB is split into as
+// many sections as running threads). Capacity 0 means unbounded (used by
+// the §5.1 issue-queue study).
+type ROB struct {
+	capacity int
+	entries  []*ROBEntry // head at index 0
+}
+
+// NewROB returns a ROB section with the given capacity (0 = unbounded).
+func NewROB(capacity int) *ROB {
+	return &ROB{capacity: capacity, entries: make([]*ROBEntry, 0, 64)}
+}
+
+// Capacity returns the configured capacity (0 = unbounded).
+func (r *ROB) Capacity() int { return r.capacity }
+
+// Len returns the number of in-flight entries.
+func (r *ROB) Len() int { return len(r.entries) }
+
+// Free returns the number of allocatable entries; unbounded ROBs always
+// report a large positive number.
+func (r *ROB) Free() int {
+	if r.capacity <= 0 {
+		return 1 << 30
+	}
+	return r.capacity - len(r.entries)
+}
+
+// Push appends e at the tail. It reports false when the ROB is full.
+func (r *ROB) Push(e *ROBEntry) bool {
+	if r.capacity > 0 && len(r.entries) >= r.capacity {
+		return false
+	}
+	r.entries = append(r.entries, e)
+	return true
+}
+
+// Head returns the oldest entry, or nil when empty.
+func (r *ROB) Head() *ROBEntry {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	return r.entries[0]
+}
+
+// PopHead removes and returns the oldest entry.
+func (r *ROB) PopHead() *ROBEntry {
+	e := r.entries[0]
+	r.entries[0] = nil
+	r.entries = r.entries[1:]
+	return e
+}
+
+// Tail returns the youngest entry, or nil when empty.
+func (r *ROB) Tail() *ROBEntry {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	return r.entries[len(r.entries)-1]
+}
+
+// PopTail removes and returns the youngest entry (squash path).
+func (r *ROB) PopTail() *ROBEntry {
+	e := r.entries[len(r.entries)-1]
+	r.entries[len(r.entries)-1] = nil
+	r.entries = r.entries[:len(r.entries)-1]
+	return e
+}
+
+// At returns the i-th oldest entry.
+func (r *ROB) At(i int) *ROBEntry { return r.entries[i] }
+
+// FetchedUop is a uop sitting in a thread's private fetch queue together
+// with the front-end state captured at fetch time.
+type FetchedUop struct {
+	Uop isa.Uop
+	// TraceIdx is the trace position (-1 for wrong-path uops).
+	TraceIdx  int
+	WrongPath bool
+	// Branch prediction state captured at fetch.
+	PredTaken      bool
+	Mispredicted   bool
+	HistCheckpoint uint64
+}
+
+// FetchQueue is one thread's private fetch queue, a bounded ring-buffer
+// FIFO sized to avoid any allocation in the fetch loop.
+type FetchQueue struct {
+	buf  []FetchedUop
+	head int
+	n    int
+}
+
+// NewFetchQueue returns a queue with the given capacity.
+func NewFetchQueue(capacity int) *FetchQueue {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &FetchQueue{buf: make([]FetchedUop, capacity)}
+}
+
+// Len returns the number of queued uops.
+func (q *FetchQueue) Len() int { return q.n }
+
+// Free returns the remaining capacity.
+func (q *FetchQueue) Free() int { return len(q.buf) - q.n }
+
+// Push appends u; it reports false when full.
+func (q *FetchQueue) Push(u FetchedUop) bool {
+	if q.n >= len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = u
+	q.n++
+	return true
+}
+
+// Peek returns the oldest queued uop without removing it. It must not be
+// called on an empty queue.
+func (q *FetchQueue) Peek() *FetchedUop { return &q.buf[q.head] }
+
+// Pop removes and returns the oldest queued uop. It must not be called on
+// an empty queue.
+func (q *FetchQueue) Pop() FetchedUop {
+	u := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return u
+}
+
+// Each calls fn on every queued uop in fetch order; it stops early when fn
+// returns false.
+func (q *FetchQueue) Each(fn func(u *FetchedUop) bool) {
+	for i := 0; i < q.n; i++ {
+		if !fn(&q.buf[(q.head+i)%len(q.buf)]) {
+			return
+		}
+	}
+}
+
+// Clear empties the queue (squash/redirect path).
+func (q *FetchQueue) Clear() {
+	q.head = 0
+	q.n = 0
+}

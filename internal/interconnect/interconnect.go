@@ -1,0 +1,63 @@
+// Package interconnect models the point-to-point links between clusters
+// (Table 1: 2 links, 1-cycle latency). Inter-cluster communication happens
+// via copy uops generated on demand by the rename logic (§3); a ready copy
+// claims a link slot for one cycle and delivers its value to the destination
+// cluster's register file after the link latency.
+package interconnect
+
+// Config sizes the interconnect.
+type Config struct {
+	// Links is the number of point-to-point links (transfers per cycle).
+	Links int
+	// Latency is the transfer latency in cycles.
+	Latency int
+}
+
+// DefaultConfig returns the Table 1 interconnect: 2 links, 1 cycle.
+func DefaultConfig() Config { return Config{Links: 2, Latency: 1} }
+
+// Network arbitrates link bandwidth per cycle. It is not safe for
+// concurrent use.
+type Network struct {
+	cfg       Config
+	cycle     int64
+	used      int
+	transfers uint64
+	denied    uint64
+}
+
+// New returns a network with cfg (zero fields take defaults).
+func New(cfg Config) *Network {
+	if cfg.Links <= 0 {
+		cfg.Links = DefaultConfig().Links
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = DefaultConfig().Latency
+	}
+	return &Network{cfg: cfg}
+}
+
+// Config returns the configuration in use.
+func (n *Network) Config() Config { return n.cfg }
+
+// TryTransfer claims a link slot at cycle now. On success it returns the
+// cycle at which the value arrives at the destination cluster and true.
+func (n *Network) TryTransfer(now int64) (arriveAt int64, ok bool) {
+	if now != n.cycle {
+		n.cycle = now
+		n.used = 0
+	}
+	if n.used >= n.cfg.Links {
+		n.denied++
+		return 0, false
+	}
+	n.used++
+	n.transfers++
+	return now + int64(n.cfg.Latency), true
+}
+
+// Transfers returns the number of completed link grants.
+func (n *Network) Transfers() uint64 { return n.transfers }
+
+// Denied returns the number of link requests rejected for bandwidth.
+func (n *Network) Denied() uint64 { return n.denied }

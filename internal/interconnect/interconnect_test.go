@@ -1,0 +1,36 @@
+package interconnect
+
+import "testing"
+
+func TestBandwidthPerCycle(t *testing.T) {
+	n := New(Config{Links: 2, Latency: 1})
+	if at, ok := n.TryTransfer(10); !ok || at != 11 {
+		t.Fatalf("first transfer: at=%d ok=%v", at, ok)
+	}
+	if _, ok := n.TryTransfer(10); !ok {
+		t.Fatal("second link should be grantable")
+	}
+	if _, ok := n.TryTransfer(10); ok {
+		t.Fatal("third transfer in one cycle granted")
+	}
+	if _, ok := n.TryTransfer(11); !ok {
+		t.Fatal("links did not reset on new cycle")
+	}
+	if n.Transfers() != 3 || n.Denied() != 1 {
+		t.Errorf("counters transfers=%d denied=%d", n.Transfers(), n.Denied())
+	}
+}
+
+func TestLatency(t *testing.T) {
+	n := New(Config{Links: 1, Latency: 3})
+	if at, _ := n.TryTransfer(100); at != 103 {
+		t.Errorf("arrival %d, want 103", at)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	n := New(Config{})
+	if n.Config().Links != 2 || n.Config().Latency != 1 {
+		t.Errorf("Table 1 defaults not applied: %+v", n.Config())
+	}
+}

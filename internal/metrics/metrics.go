@@ -1,0 +1,230 @@
+// Package metrics defines the statistics the paper reports and the derived
+// metrics used in its evaluation (§4): throughput (committed uops per
+// cycle), the fairness metric of Luo/Gabor (minimum ratio between the
+// relative slowdowns of any two co-running threads), copies per retired
+// instruction (Fig. 3), issue-queue stalls per retired instruction (Fig. 4)
+// and the workload-imbalance breakdown (Fig. 5).
+package metrics
+
+import "fmt"
+
+// ImbClass indexes the three instruction groups of the Fig. 5 breakdown.
+type ImbClass int
+
+const (
+	// ImbInt groups integer-port uops (int, imul, branch).
+	ImbInt ImbClass = iota
+	// ImbFp groups FP/SIMD uops.
+	ImbFp
+	// ImbMem groups memory uops.
+	ImbMem
+	// NumImbClasses is the number of imbalance groups.
+	NumImbClasses = int(ImbMem) + 1
+)
+
+// String names the imbalance class as in Fig. 5.
+func (c ImbClass) String() string {
+	switch c {
+	case ImbInt:
+		return "Integer"
+	case ImbFp:
+		return "Fp/Simd"
+	default:
+		return "Mem"
+	}
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	// Cycles is the simulated cycle count.
+	Cycles int64
+	// Committed is the number of architecturally committed uops per
+	// thread (copies excluded).
+	Committed []uint64
+	// CommittedCopies counts committed inter-cluster copy uops.
+	CommittedCopies uint64
+	// CopyTransfers counts values sent over the inter-cluster links
+	// (the Fig. 3 numerator).
+	CopyTransfers uint64
+	// CopiesGenerated counts copy uops inserted at rename (including
+	// later-squashed ones).
+	CopiesGenerated uint64
+	// IQStalls counts rename attempts in which a uop could not go to its
+	// preferred cluster because the issue queue was full or over the
+	// scheme's limit (the Fig. 4 numerator; retries in later cycles count
+	// again, as in the paper where the ratio exceeds 1).
+	IQStalls uint64
+	// IQBlocked counts cycles in which rename made no progress because of
+	// issue-queue space.
+	IQBlocked uint64
+	// RFStalls counts rename attempts blocked for lack of physical
+	// registers (scheme cap or physical exhaustion).
+	RFStalls uint64
+	// MOBStalls counts rename attempts blocked on MOB space.
+	MOBStalls uint64
+	// ROBStalls counts rename attempts blocked on ROB space.
+	ROBStalls uint64
+	// Fetched counts fetched uops per thread (wrong path included).
+	Fetched []uint64
+	// Renamed counts renamed uops (copies excluded, wrong path included).
+	Renamed uint64
+	// Squashed counts squashed uops (wrong path + flushes).
+	Squashed uint64
+	// Flushes counts Flush+/misprediction squash events.
+	Flushes, Mispredicts uint64
+	// BranchLookups counts conditional-branch predictions made.
+	BranchLookups uint64
+	// L2Misses counts load L2 misses observed at execute.
+	L2Misses uint64
+	// Imbalance is the Fig. 5 histogram: [class][kind] cycle counts where
+	// kind 0 = a ready uop of that class could not issue in either
+	// cluster, kind 1 = it could not issue in its own cluster but the
+	// other cluster had a free compatible port.
+	Imbalance [NumImbClasses][2]int64
+	// IssueCycles counts cycles in which at least one uop issued
+	// (the Fig. 5 denominator).
+	IssueCycles int64
+	// IssuedUops counts issued uops (copies excluded).
+	IssuedUops uint64
+	// StoreForwards counts loads served by store-to-load forwarding.
+	StoreForwards uint64
+	// IQOccSum[c][t] accumulates thread t's issue-queue occupancy in
+	// cluster c each cycle; divide by Cycles for the average.
+	IQOccSum [][]int64
+	// ThreadWindowCycles/ThreadWindowCommitted give each thread a private
+	// measurement window starting at its own warm-up point (its first
+	// WarmupUops commits), so per-thread IPCs — and therefore the
+	// fairness metric — compare identical trace regions whether the
+	// thread runs alone or shares the machine. Zero cycles = window never
+	// opened (thread too slow); ThreadIPC falls back to the global window.
+	ThreadWindowCycles    []int64
+	ThreadWindowCommitted []uint64
+}
+
+// AvgIQOcc returns thread t's average issue-queue occupancy in cluster c.
+func (s *Stats) AvgIQOcc(c, t int) float64 {
+	if s.Cycles == 0 || c >= len(s.IQOccSum) || t >= len(s.IQOccSum[c]) {
+		return 0
+	}
+	return float64(s.IQOccSum[c][t]) / float64(s.Cycles)
+}
+
+// NewStats returns a Stats sized for n threads.
+func NewStats(n int) *Stats {
+	st := &Stats{
+		Committed:             make([]uint64, n),
+		Fetched:               make([]uint64, n),
+		ThreadWindowCycles:    make([]int64, n),
+		ThreadWindowCommitted: make([]uint64, n),
+	}
+	for c := 0; c < 4; c++ {
+		st.IQOccSum = append(st.IQOccSum, make([]int64, n))
+	}
+	return st
+}
+
+// TotalCommitted returns committed uops summed over threads.
+func (s *Stats) TotalCommitted() uint64 {
+	var total uint64
+	for _, c := range s.Committed {
+		total += c
+	}
+	return total
+}
+
+// IPC returns total committed uops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.TotalCommitted()) / float64(s.Cycles)
+}
+
+// ThreadIPC returns thread t's committed uops per cycle, preferring the
+// thread's private post-warm-up window when one was recorded.
+func (s *Stats) ThreadIPC(t int) float64 {
+	if t < len(s.ThreadWindowCycles) && s.ThreadWindowCycles[t] > 0 {
+		return float64(s.ThreadWindowCommitted[t]) / float64(s.ThreadWindowCycles[t])
+	}
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed[t]) / float64(s.Cycles)
+}
+
+// CopiesPerRetired returns link transfers per committed uop (Fig. 3).
+func (s *Stats) CopiesPerRetired() float64 {
+	if c := s.TotalCommitted(); c > 0 {
+		return float64(s.CopyTransfers) / float64(c)
+	}
+	return 0
+}
+
+// IQStallsPerRetired returns issue-queue stalls per committed uop (Fig. 4).
+func (s *Stats) IQStallsPerRetired() float64 {
+	if c := s.TotalCommitted(); c > 0 {
+		return float64(s.IQStalls) / float64(c)
+	}
+	return 0
+}
+
+// ImbalanceFrac returns the Fig. 5 fraction for (class, kind): the share of
+// issuing cycles in which the condition was observed.
+func (s *Stats) ImbalanceFrac(c ImbClass, kind int) float64 {
+	if s.IssueCycles == 0 {
+		return 0
+	}
+	return float64(s.Imbalance[c][kind]) / float64(s.IssueCycles)
+}
+
+// String summarizes the run.
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d committed=%d ipc=%.3f copies/ret=%.3f iqstalls/ret=%.3f mispredicts=%d l2miss=%d",
+		s.Cycles, s.TotalCommitted(), s.IPC(), s.CopiesPerRetired(), s.IQStallsPerRetired(), s.Mispredicts, s.L2Misses)
+}
+
+// Fairness implements the metric of §4 (refs [17], [33]): the minimum over
+// all thread pairs of the ratio between relative slowdowns, where thread
+// i's slowdown is singleIPC[i]/smtIPC[i]. A value of 1 means perfectly
+// equal slowdowns; lower is less fair. Threads with zero SMT IPC yield 0.
+func Fairness(singleIPC, smtIPC []float64) float64 {
+	if len(singleIPC) != len(smtIPC) || len(singleIPC) < 2 {
+		return 0
+	}
+	slow := make([]float64, len(singleIPC))
+	for i := range slow {
+		if smtIPC[i] <= 0 || singleIPC[i] <= 0 {
+			return 0
+		}
+		slow[i] = singleIPC[i] / smtIPC[i]
+	}
+	min := 1.0
+	for i := 0; i < len(slow); i++ {
+		for j := i + 1; j < len(slow); j++ {
+			r := slow[i] / slow[j]
+			if r > 1 {
+				r = 1 / r
+			}
+			if r < min {
+				min = r
+			}
+		}
+	}
+	return min
+}
+
+// WeightedSpeedup returns the sum over threads of smtIPC/singleIPC, the
+// complementary throughput-quality metric of Snavely & Tullsen; reported by
+// the harness alongside fairness for context.
+func WeightedSpeedup(singleIPC, smtIPC []float64) float64 {
+	if len(singleIPC) != len(smtIPC) {
+		return 0
+	}
+	total := 0.0
+	for i := range smtIPC {
+		if singleIPC[i] > 0 {
+			total += smtIPC[i] / singleIPC[i]
+		}
+	}
+	return total
+}

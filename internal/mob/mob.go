@@ -1,0 +1,145 @@
+// Package mob models the shared memory order buffer of the baseline machine
+// (Table 1: MOB of 128 entries, shared load and store queues). Loads and
+// stores allocate an entry at rename and release it at commit or squash;
+// loads search older same-thread stores for store-to-load forwarding.
+//
+// Memory-order misspeculation replay is not modelled: the simulator is
+// trace-driven, so load values are always architectural. The MOB's role in
+// this study is occupancy (a shared resource threads can starve on) and
+// forwarding latency.
+package mob
+
+// Entry identifies one in-flight memory operation.
+type Entry struct {
+	Thread  int
+	Seq     uint64 // per-thread program order
+	Addr    uint64
+	IsStore bool
+	// Resolved is set when the address (and, for stores, data) is known,
+	// i.e. the uop has executed.
+	Resolved bool
+}
+
+// MOB is the shared memory order buffer. It is not safe for concurrent use.
+type MOB struct {
+	capacity int
+	// stores and loads are kept per thread in program order.
+	stores [][]*Entry
+	loads  [][]*Entry
+	used   int
+
+	forwards uint64
+}
+
+// New returns a MOB with the given total capacity shared by n threads.
+func New(capacity, n int) *MOB {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	if n <= 0 {
+		n = 1
+	}
+	m := &MOB{
+		capacity: capacity,
+		stores:   make([][]*Entry, n),
+		loads:    make([][]*Entry, n),
+	}
+	return m
+}
+
+// Capacity returns the total number of entries.
+func (m *MOB) Capacity() int { return m.capacity }
+
+// Used returns the number of allocated entries.
+func (m *MOB) Used() int { return m.used }
+
+// Free returns the number of available entries.
+func (m *MOB) Free() int { return m.capacity - m.used }
+
+// UsedBy returns the number of entries held by thread t.
+func (m *MOB) UsedBy(t int) int { return len(m.stores[t]) + len(m.loads[t]) }
+
+// Alloc allocates an entry for thread t at sequence seq. It returns nil if
+// the MOB is full.
+func (m *MOB) Alloc(t int, seq uint64, isStore bool) *Entry {
+	if m.used >= m.capacity {
+		return nil
+	}
+	e := &Entry{Thread: t, Seq: seq, IsStore: isStore}
+	if isStore {
+		m.stores[t] = append(m.stores[t], e)
+	} else {
+		m.loads[t] = append(m.loads[t], e)
+	}
+	m.used++
+	return e
+}
+
+// Resolve marks e executed with address addr.
+func (m *MOB) Resolve(e *Entry, addr uint64) {
+	e.Addr = addr
+	e.Resolved = true
+}
+
+// Forward reports whether a load by thread t at sequence seq from addr can
+// be served by an older resolved store of the same thread to the same
+// 8-byte-aligned address.
+func (m *MOB) Forward(t int, seq uint64, addr uint64) bool {
+	a := addr &^ 7
+	sts := m.stores[t]
+	for i := len(sts) - 1; i >= 0; i-- {
+		s := sts[i]
+		if s.Seq >= seq {
+			continue
+		}
+		if s.Resolved && s.Addr&^7 == a {
+			m.forwards++
+			return true
+		}
+	}
+	return false
+}
+
+// Release removes e (commit or squash). Releasing an entry that is not
+// present is a programming error and panics.
+func (m *MOB) Release(e *Entry) {
+	var list *[]*Entry
+	if e.IsStore {
+		list = &m.stores[e.Thread]
+	} else {
+		list = &m.loads[e.Thread]
+	}
+	for i, x := range *list {
+		if x == e {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			m.used--
+			return
+		}
+	}
+	panic("mob: Release of entry not in MOB")
+}
+
+// SquashYounger removes all entries of thread t with Seq > seq and returns
+// how many were removed.
+func (m *MOB) SquashYounger(t int, seq uint64) int {
+	n := 0
+	n += squashList(&m.stores[t], seq)
+	n += squashList(&m.loads[t], seq)
+	m.used -= n
+	return n
+}
+
+func squashList(list *[]*Entry, seq uint64) int {
+	// Entries are in program order; find the first younger entry.
+	l := *list
+	i := len(l)
+	for i > 0 && l[i-1].Seq > seq {
+		i--
+	}
+	n := len(l) - i
+	*list = l[:i]
+	return n
+}
+
+// Forwards returns the number of successful store-to-load forwards.
+func (m *MOB) Forwards() uint64 { return m.forwards }

@@ -1,0 +1,133 @@
+package policy
+
+// IQPolicy bounds per-thread issue-queue occupancy (Table 3 schemes).
+// The core asks, for a uop of thread t about to be renamed, whether the
+// scheme permits allocating one entry in cluster c; physical free space is
+// checked separately by the core.
+type IQPolicy interface {
+	// Name identifies the scheme.
+	Name() string
+	// Allows reports whether thread t may allocate one more issue-queue
+	// entry in cluster c under the scheme's cap (ignoring physical space).
+	Allows(t, c int, m Machine) bool
+	// ForcedCluster returns (cluster, true) when the scheme statically
+	// binds thread t to one cluster (the PC scheme); otherwise ok=false
+	// and the steering logic chooses.
+	ForcedCluster(t int) (c int, ok bool)
+}
+
+// Unrestricted applies no per-thread cap; it is the IQ behaviour of the
+// Icount, Stall and Flush+ schemes, which manage threads only at rename
+// selection.
+type Unrestricted struct{}
+
+// NewUnrestricted returns the cap-free IQ policy.
+func NewUnrestricted() IQPolicy { return Unrestricted{} }
+
+// Name implements IQPolicy.
+func (Unrestricted) Name() string { return "unrestricted" }
+
+// Allows implements IQPolicy.
+func (Unrestricted) Allows(int, int, Machine) bool { return true }
+
+// ForcedCluster implements IQPolicy.
+func (Unrestricted) ForcedCluster(int) (int, bool) { return 0, false }
+
+// CISP is the Cluster-Insensitive Static Partitioned scheme (ref [31]): a
+// thread may hold at most 1/numThreads of the *total* issue-queue entries,
+// regardless of which cluster they are in.
+type CISP struct{}
+
+// NewCISP returns the CISP policy.
+func NewCISP() IQPolicy { return CISP{} }
+
+// Name implements IQPolicy.
+func (CISP) Name() string { return "cisp" }
+
+// Allows implements IQPolicy.
+func (CISP) Allows(t, _ int, m Machine) bool {
+	cap := m.NumClusters() * m.IQSize() / m.NumThreads()
+	return IQTotalOcc(m, t) < cap
+}
+
+// ForcedCluster implements IQPolicy.
+func (CISP) ForcedCluster(int) (int, bool) { return 0, false }
+
+// CSSP is the Cluster-Sensitive Static Partitioned scheme: a thread may
+// hold at most 1/numThreads of *each cluster's* issue-queue entries. This
+// is the scheme the paper finds best for the issue queue (§5.1): it
+// guarantees every thread slots in every cluster, preserving workload
+// balance.
+type CSSP struct{}
+
+// NewCSSP returns the CSSP policy.
+func NewCSSP() IQPolicy { return CSSP{} }
+
+// Name implements IQPolicy.
+func (CSSP) Name() string { return "cssp" }
+
+// Allows implements IQPolicy.
+func (CSSP) Allows(t, c int, m Machine) bool {
+	return m.IQOcc(c, t) < m.IQSize()/m.NumThreads()
+}
+
+// ForcedCluster implements IQPolicy.
+func (CSSP) ForcedCluster(int) (int, bool) { return 0, false }
+
+// CSPSP is the Cluster-Sensitive Partial Static Partitioned scheme: only a
+// fraction (25 % in the paper) of each cluster's entries is guaranteed per
+// thread; threads compete for the rest. A thread may allocate in cluster c
+// as long as doing so cannot eat into the other threads' unused guarantees.
+type CSPSP struct {
+	// GuaranteeFrac is the guaranteed fraction per thread per cluster
+	// (the paper uses 0.25). Must be in (0, 1/numThreads].
+	GuaranteeFrac float64
+}
+
+// NewCSPSP returns the CSPSP policy with the paper's 25 % guarantee.
+func NewCSPSP() IQPolicy { return &CSPSP{GuaranteeFrac: 0.25} }
+
+// Name implements IQPolicy.
+func (*CSPSP) Name() string { return "cspsp" }
+
+// Allows implements IQPolicy.
+func (p *CSPSP) Allows(t, c int, m Machine) bool {
+	size := m.IQSize()
+	guarantee := int(float64(size) * p.GuaranteeFrac)
+	if guarantee < 1 {
+		guarantee = 1
+	}
+	reserved := 0
+	for o := 0; o < m.NumThreads(); o++ {
+		if o == t {
+			continue
+		}
+		if short := guarantee - m.IQOcc(c, o); short > 0 {
+			reserved += short
+		}
+	}
+	// t can take the entry only if enough free space remains to honor the
+	// other threads' unused guarantees after this allocation.
+	return m.IQFree(c)-reserved >= 1
+}
+
+// ForcedCluster implements IQPolicy.
+func (*CSPSP) ForcedCluster(int) (int, bool) { return 0, false }
+
+// PC is the Private Clusters scheme: thread t is statically bound to
+// cluster t mod numClusters and all its uops are steered there.
+type PC struct{}
+
+// NewPC returns the private-clusters policy.
+func NewPC() IQPolicy { return PC{} }
+
+// Name implements IQPolicy.
+func (PC) Name() string { return "pc" }
+
+// Allows implements IQPolicy.
+func (PC) Allows(t, c int, m Machine) bool {
+	return c == t%m.NumClusters()
+}
+
+// ForcedCluster implements IQPolicy.
+func (PC) ForcedCluster(t int) (int, bool) { return t, true }

@@ -1,0 +1,58 @@
+// Package policy implements every resource assignment scheme evaluated in
+// the paper (Tables 3 and 4) plus the proposed dynamic register-file scheme
+// CDPRF (Figs. 7–8) and the future-work adaptations sketched in §6.
+//
+// A scheme decomposes into three cooperating pieces, mirroring the paper's
+// structure:
+//
+//   - a Selector (rename thread-selection policy): Icount, Stall, Flush+;
+//   - an IQPolicy bounding issue-queue occupancy per thread: unrestricted,
+//     CISP, CSSP, CSPSP, PC;
+//   - an RFPolicy bounding physical-register occupancy per thread: none,
+//     CSSPRF, CISPRF, CDPRF.
+//
+// The named schemes of the paper are registered in Lookup (e.g. "cssp" =
+// Icount selector + CSSP IQ policy + no RF policy; "cdprf" = Icount +
+// CSSP + dynamic RF).
+package policy
+
+import "clustersmt/internal/isa"
+
+// Machine is the narrow, read-only view of processor state that policies
+// consult. It is implemented by core.Processor; tests use lightweight fakes.
+type Machine interface {
+	// NumThreads returns the number of hardware threads.
+	NumThreads() int
+	// NumClusters returns the number of back-end clusters.
+	NumClusters() int
+	// IQSize returns the per-cluster issue-queue capacity.
+	IQSize() int
+	// IQFree returns free issue-queue entries in cluster c.
+	IQFree(c int) int
+	// IQOcc returns the issue-queue entries cluster c holds for thread t.
+	IQOcc(c, t int) int
+	// RFTotal returns physical registers of kind k summed over clusters.
+	RFTotal(k isa.RegKind) int
+	// RFFree returns free registers of kind k summed over clusters.
+	RFFree(k isa.RegKind) int
+	// RFInUse returns registers of kind k held by thread t over clusters.
+	RFInUse(t int, k isa.RegKind) int
+	// RFClusterTotal returns the per-cluster register count of kind k.
+	RFClusterTotal(k isa.RegKind) int
+	// RFClusterFree returns free registers of kind k in cluster c.
+	RFClusterFree(c int, k isa.RegKind) int
+	// RFClusterInUse returns registers of kind k in cluster c held by t.
+	RFClusterInUse(c, t int, k isa.RegKind) int
+	// Now returns the current cycle.
+	Now() int64
+}
+
+// IQTotalOcc returns the issue-queue entries thread t holds across all
+// clusters of m.
+func IQTotalOcc(m Machine, t int) int {
+	total := 0
+	for c := 0; c < m.NumClusters(); c++ {
+		total += m.IQOcc(c, t)
+	}
+	return total
+}

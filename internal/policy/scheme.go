@@ -1,0 +1,72 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scheme bundles the three policy components under a paper-level name.
+type Scheme struct {
+	// Name is the paper's name for the scheme (lower-cased).
+	Name string
+	// Selector constructs the rename thread-selection policy for n threads.
+	Selector func(n int) Selector
+	// IQ constructs the issue-queue occupancy policy.
+	IQ func() IQPolicy
+	// RF constructs the register-file occupancy policy.
+	RF func(cfg RFConfig) RFPolicy
+}
+
+// New instantiates the scheme's components for n threads.
+func (s Scheme) New(n int) (Selector, IQPolicy, RFPolicy) {
+	return s.Selector(n), s.IQ(), s.RF(DefaultRFConfig(n))
+}
+
+var registry = map[string]Scheme{
+	// §5.1, Table 3: issue-queue schemes (RF unmanaged).
+	"icount": {Name: "icount", Selector: NewIcount, IQ: NewUnrestricted, RF: NewNoRF},
+	"stall":  {Name: "stall", Selector: NewStall, IQ: NewUnrestricted, RF: NewNoRF},
+	"flush+": {Name: "flush+", Selector: NewFlushPlus, IQ: NewUnrestricted, RF: NewNoRF},
+	"cisp":   {Name: "cisp", Selector: NewIcount, IQ: NewCISP, RF: NewNoRF},
+	"cssp":   {Name: "cssp", Selector: NewIcount, IQ: NewCSSP, RF: NewNoRF},
+	"cspsp":  {Name: "cspsp", Selector: NewIcount, IQ: NewCSPSP, RF: NewNoRF},
+	"pc":     {Name: "pc", Selector: NewIcount, IQ: NewPC, RF: NewNoRF},
+
+	// §5.2, Table 4: register-file schemes layered on CSSP.
+	"cssprf": {Name: "cssprf", Selector: NewIcount, IQ: NewCSSP, RF: NewCSSPRF},
+	"cisprf": {Name: "cisprf", Selector: NewIcount, IQ: NewCSSP, RF: NewCISPRF},
+	"cdprf":  {Name: "cdprf", Selector: NewIcount, IQ: NewCSSP, RF: NewCDPRF},
+
+	// §6 future work, implemented as extensions (see future.go).
+	"dcra":      {Name: "dcra", Selector: NewIcount, IQ: NewDCRAIQ, RF: NewDCRARF},
+	"hillclimb": {Name: "hillclimb", Selector: NewIcount, IQ: NewHillClimbIQ, RF: NewNoRF},
+}
+
+// Lookup returns the scheme registered under name.
+func Lookup(name string) (Scheme, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Scheme{}, fmt.Errorf("policy: unknown scheme %q (known: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names returns all registered scheme names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperIQSchemes lists the Table 3 schemes in the paper's figure order.
+func PaperIQSchemes() []string {
+	return []string{"icount", "stall", "flush+", "cisp", "cssp", "cspsp", "pc"}
+}
+
+// PaperRFSchemes lists the Table 4 / Fig. 6 schemes in figure order.
+func PaperRFSchemes() []string {
+	return []string{"cssp", "cssprf", "cisprf"}
+}

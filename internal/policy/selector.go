@@ -1,0 +1,193 @@
+package policy
+
+// Selector is the rename thread-selection policy. Every cycle the core
+// renames from the eligible thread with the fewest uops between rename and
+// issue (Icount ordering, ref [1]); selectors differ in which threads are
+// eligible and whether long-latency misses trigger flushes.
+type Selector interface {
+	// Name identifies the selector.
+	Name() string
+	// Eligible reports whether thread t may be selected for rename.
+	Eligible(t int, m Machine) bool
+	// MissStart notifies the selector that thread t's load with per-thread
+	// sequence seq missed the L2 at cycle now.
+	MissStart(t int, seq uint64, now int64)
+	// MissEnd notifies that one outstanding L2 miss of thread t completed.
+	MissEnd(t int, now int64)
+	// PendingFlush returns a thread whose instructions younger than
+	// afterSeq must be flushed now. The core performs the flush and calls
+	// FlushDone. ok is false when no flush is pending.
+	PendingFlush() (thread int, afterSeq uint64, ok bool)
+	// FlushDone acknowledges that the pending flush for thread t was
+	// performed.
+	FlushDone(thread int)
+}
+
+// missState tracks outstanding L2 misses for one thread.
+type missState struct {
+	outstanding int
+	firstStart  int64  // cycle of the oldest outstanding miss
+	firstSeq    uint64 // sequence of the load that started it
+}
+
+// Icount is the baseline selector (ref [1]): every thread with work is
+// always eligible; the Icount ordering itself is applied by the core.
+type Icount struct{}
+
+// NewIcount returns the Icount selector.
+func NewIcount(int) Selector { return Icount{} }
+
+// Name implements Selector.
+func (Icount) Name() string { return "icount" }
+
+// Eligible implements Selector.
+func (Icount) Eligible(int, Machine) bool { return true }
+
+// MissStart implements Selector.
+func (Icount) MissStart(int, uint64, int64) {}
+
+// MissEnd implements Selector.
+func (Icount) MissEnd(int, int64) {}
+
+// PendingFlush implements Selector.
+func (Icount) PendingFlush() (int, uint64, bool) { return 0, 0, false }
+
+// FlushDone implements Selector.
+func (Icount) FlushDone(int) {}
+
+// Stall gates Icount with the long-latency load rule of Tullsen & Brown
+// (ref [19]): a thread with a pending L2 miss cannot rename until the miss
+// resolves.
+type Stall struct {
+	miss []missState
+}
+
+// NewStall returns a Stall selector for n threads.
+func NewStall(n int) Selector { return &Stall{miss: make([]missState, n)} }
+
+// Name implements Selector.
+func (*Stall) Name() string { return "stall" }
+
+// Eligible implements Selector.
+func (s *Stall) Eligible(t int, _ Machine) bool { return s.miss[t].outstanding == 0 }
+
+// MissStart implements Selector.
+func (s *Stall) MissStart(t int, seq uint64, now int64) {
+	ms := &s.miss[t]
+	if ms.outstanding == 0 {
+		ms.firstStart = now
+		ms.firstSeq = seq
+	}
+	ms.outstanding++
+}
+
+// MissEnd implements Selector.
+func (s *Stall) MissEnd(t int, _ int64) {
+	if s.miss[t].outstanding > 0 {
+		s.miss[t].outstanding--
+	}
+}
+
+// PendingFlush implements Selector.
+func (*Stall) PendingFlush() (int, uint64, bool) { return 0, 0, false }
+
+// FlushDone implements Selector.
+func (*Stall) FlushDone(int) {}
+
+// FlushPlus implements the Flush+ scheme of Cazorla et al. (ref [25]): a
+// thread that misses in the L2 releases all resources younger than the
+// missing load (the core squashes and re-fetches them) and cannot rename
+// until the miss resolves. Unlike the original Flush, when two threads both
+// have pending misses the one that missed first is allowed to continue.
+type FlushPlus struct {
+	miss    []missState
+	flushed []bool // thread currently flushed because of its miss
+	pending []int  // threads with a flush requested, FIFO
+	pendSeq []uint64
+}
+
+// NewFlushPlus returns a Flush+ selector for n threads.
+func NewFlushPlus(n int) Selector {
+	return &FlushPlus{
+		miss:    make([]missState, n),
+		flushed: make([]bool, n),
+	}
+}
+
+// Name implements Selector.
+func (*FlushPlus) Name() string { return "flush+" }
+
+// earliestMisser returns the thread whose oldest outstanding miss started
+// first, or -1 when no thread has an outstanding miss.
+func (f *FlushPlus) earliestMisser() int {
+	best := -1
+	for t := range f.miss {
+		if f.miss[t].outstanding == 0 {
+			continue
+		}
+		if best < 0 || f.miss[t].firstStart < f.miss[best].firstStart {
+			best = t
+		}
+	}
+	return best
+}
+
+// Eligible implements Selector. A thread with a pending miss is blocked
+// unless it is the earliest misser while another thread is also missing
+// (the Flush+ refinement over Flush).
+func (f *FlushPlus) Eligible(t int, _ Machine) bool {
+	if f.miss[t].outstanding == 0 {
+		return true
+	}
+	missing := 0
+	for i := range f.miss {
+		if f.miss[i].outstanding > 0 {
+			missing++
+		}
+	}
+	return missing >= 2 && f.earliestMisser() == t
+}
+
+// MissStart implements Selector.
+func (f *FlushPlus) MissStart(t int, seq uint64, now int64) {
+	ms := &f.miss[t]
+	if ms.outstanding == 0 {
+		ms.firstStart = now
+		ms.firstSeq = seq
+	}
+	ms.outstanding++
+	if !f.flushed[t] {
+		// Flush everything younger than the missing load. If this thread
+		// is the earliest misser of two it will remain eligible (Flush+),
+		// re-fetching the flushed work under the miss shadow.
+		f.flushed[t] = true
+		f.pending = append(f.pending, t)
+		f.pendSeq = append(f.pendSeq, seq)
+	}
+}
+
+// MissEnd implements Selector.
+func (f *FlushPlus) MissEnd(t int, _ int64) {
+	if f.miss[t].outstanding > 0 {
+		f.miss[t].outstanding--
+	}
+	if f.miss[t].outstanding == 0 {
+		f.flushed[t] = false
+	}
+}
+
+// PendingFlush implements Selector.
+func (f *FlushPlus) PendingFlush() (int, uint64, bool) {
+	if len(f.pending) == 0 {
+		return 0, 0, false
+	}
+	return f.pending[0], f.pendSeq[0], true
+}
+
+// FlushDone implements Selector.
+func (f *FlushPlus) FlushDone(t int) {
+	if len(f.pending) > 0 && f.pending[0] == t {
+		f.pending = f.pending[1:]
+		f.pendSeq = f.pendSeq[1:]
+	}
+}

@@ -1,0 +1,60 @@
+// Package report renders experiment results as fixed-width text tables,
+// one per paper figure, so the harness output can be compared side by side
+// with the paper's plots.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table formats a titled fixed-width table. Column widths adapt to content.
+func Table(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with 3 decimals.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Pct formats a ratio as a signed percentage delta from 1.0.
+func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", (v-1)*100) }

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableLayout(t *testing.T) {
+	out := Table("Title", []string{"name", "v"}, [][]string{
+		{"alpha", "1.00"},
+		{"b", "12.50"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" || !strings.HasPrefix(lines[1], "=") {
+		t.Errorf("title block wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "name") || !strings.Contains(lines[2], "v") {
+		t.Errorf("header wrong: %q", lines[2])
+	}
+	// Value column is right-aligned to the widest cell.
+	if !strings.HasSuffix(lines[4], " 1.00") || !strings.HasSuffix(lines[5], "12.50") {
+		t.Errorf("alignment wrong:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	out := Table("", []string{"a"}, nil)
+	if strings.Contains(out, "=") && strings.HasPrefix(out, "=") {
+		t.Errorf("no-title table should not start with a rule:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if Pct(1.176) != "+17.6%" {
+		t.Errorf("Pct = %q", Pct(1.176))
+	}
+	if Pct(0.9) != "-10.0%" {
+		t.Errorf("Pct = %q", Pct(0.9))
+	}
+}

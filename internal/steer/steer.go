@@ -1,0 +1,94 @@
+// Package steer implements the cluster-assignment (steering) logic. The
+// baseline uses the dependence- and workload-based algorithm of Canal,
+// Parcerisa and González (HPCA 2000), as prescribed by the paper (§3):
+// steer an instruction to the cluster where most of its source operands
+// reside, breaking ties toward the less-loaded cluster, so that
+// inter-cluster communication is minimized while workload stays balanced.
+//
+// Alternative steering functions (round-robin, modulo) are provided for the
+// ablation benchmarks; Raasch et al.'s SMT-cluster evaluation used
+// round-robin steering, which DESIGN.md §5 compares against.
+package steer
+
+// Steerer chooses a preferred cluster for a uop about to be renamed.
+type Steerer interface {
+	// Name identifies the steering function.
+	Name() string
+	// Prefer returns the preferred cluster for a uop of thread t.
+	// srcCount[c] is the number of the uop's source operands whose value
+	// currently resides in cluster c; occ[c] is the issue-queue occupancy
+	// of cluster c and size its capacity. srcCount and occ have one entry
+	// per cluster.
+	Prefer(t int, srcCount []int, occ []int, size int) int
+}
+
+// DependenceBalance is the baseline steering of ref [12]: the cluster
+// holding most source operands wins; ties (including no register sources)
+// go to the least-occupied cluster; a workload-balance override redirects
+// to the least-occupied cluster when the dependence choice is overloaded.
+type DependenceBalance struct {
+	// BalanceSlack bounds how much fuller (in issue-queue entries) the
+	// dependence-preferred cluster may be before the balance override
+	// redirects the uop to the least-loaded cluster. 0 disables the
+	// override (pure dependence steering with load-based tie-breaking).
+	BalanceSlack int
+}
+
+// Name implements Steerer.
+func (DependenceBalance) Name() string { return "dep-balance" }
+
+// Prefer implements Steerer.
+func (s DependenceBalance) Prefer(t int, srcCount []int, occ []int, size int) int {
+	n := len(occ)
+	leastLoaded := 0
+	for c := 1; c < n; c++ {
+		if occ[c] < occ[leastLoaded] {
+			leastLoaded = c
+		}
+	}
+	best, bestCount := -1, 0
+	tie := false
+	for c := 0; c < n; c++ {
+		switch {
+		case srcCount[c] > bestCount:
+			best, bestCount, tie = c, srcCount[c], false
+		case srcCount[c] == bestCount && bestCount > 0:
+			tie = true
+		}
+	}
+	if best < 0 || tie {
+		return leastLoaded
+	}
+	if s.BalanceSlack > 0 && occ[best]-occ[leastLoaded] > s.BalanceSlack {
+		return leastLoaded
+	}
+	return best
+}
+
+// RoundRobin alternates clusters per renamed uop, per thread.
+type RoundRobin struct {
+	next []int
+}
+
+// NewRoundRobin returns a round-robin steerer for n threads.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{next: make([]int, n)} }
+
+// Name implements Steerer.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Prefer implements Steerer.
+func (r *RoundRobin) Prefer(t int, _ []int, occ []int, _ int) int {
+	c := r.next[t] % len(occ)
+	r.next[t]++
+	return c
+}
+
+// Modulo statically maps each thread to a home cluster (thread mod
+// clusters); used by the PC (private clusters) scheme and as an ablation.
+type Modulo struct{}
+
+// Name implements Steerer.
+func (Modulo) Name() string { return "modulo" }
+
+// Prefer implements Steerer.
+func (Modulo) Prefer(t int, _ []int, occ []int, _ int) int { return t % len(occ) }

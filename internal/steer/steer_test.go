@@ -1,0 +1,75 @@
+package steer
+
+import "testing"
+
+func TestDependenceWins(t *testing.T) {
+	s := DependenceBalance{BalanceSlack: 8}
+	// Both sources in cluster 1, cluster 0 less loaded: dependence wins
+	// while imbalance stays within the slack.
+	if got := s.Prefer(0, []int{0, 2}, []int{5, 10}, 32); got != 1 {
+		t.Errorf("Prefer = %d, want 1 (dependence)", got)
+	}
+}
+
+func TestBalanceOverride(t *testing.T) {
+	s := DependenceBalance{BalanceSlack: 4}
+	// Preferred cluster overloaded beyond slack: balance override.
+	if got := s.Prefer(0, []int{0, 2}, []int{2, 12}, 32); got != 0 {
+		t.Errorf("Prefer = %d, want 0 (balance override)", got)
+	}
+}
+
+func TestNoSourcesGoesLeastLoaded(t *testing.T) {
+	s := DependenceBalance{BalanceSlack: 8}
+	if got := s.Prefer(0, []int{0, 0}, []int{9, 3}, 32); got != 1 {
+		t.Errorf("Prefer = %d, want 1 (least loaded)", got)
+	}
+}
+
+func TestTieGoesLeastLoaded(t *testing.T) {
+	s := DependenceBalance{BalanceSlack: 8}
+	if got := s.Prefer(0, []int{1, 1}, []int{3, 9}, 32); got != 0 {
+		t.Errorf("Prefer = %d, want 0 (tie -> least loaded)", got)
+	}
+}
+
+func TestZeroSlackDisablesOverride(t *testing.T) {
+	s := DependenceBalance{}
+	if got := s.Prefer(0, []int{0, 2}, []int{0, 31}, 32); got != 1 {
+		t.Errorf("Prefer = %d, want 1 (pure dependence)", got)
+	}
+}
+
+func TestRoundRobinPerThread(t *testing.T) {
+	r := NewRoundRobin(2)
+	occ := []int{0, 0}
+	a := r.Prefer(0, nil, occ, 32)
+	b := r.Prefer(0, nil, occ, 32)
+	c := r.Prefer(0, nil, occ, 32)
+	if a == b || a != c {
+		t.Errorf("round robin sequence %d %d %d", a, b, c)
+	}
+	// Thread 1 has its own cursor.
+	if r.Prefer(1, nil, occ, 32) != a {
+		t.Error("thread cursors should start aligned")
+	}
+}
+
+func TestModulo(t *testing.T) {
+	m := Modulo{}
+	occ := []int{0, 0}
+	if m.Prefer(0, nil, occ, 32) != 0 || m.Prefer(1, nil, occ, 32) != 1 {
+		t.Error("modulo binding wrong")
+	}
+	if m.Prefer(2, nil, occ, 32) != 0 {
+		t.Error("modulo should wrap")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (DependenceBalance{}).Name() != "dep-balance" ||
+		NewRoundRobin(1).Name() != "round-robin" ||
+		(Modulo{}).Name() != "modulo" {
+		t.Error("steering names wrong")
+	}
+}

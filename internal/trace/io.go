@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"clustersmt/internal/isa"
+)
+
+// Binary trace format.
+//
+// Traces can be materialized to disk so that expensive generation (or, for a
+// user with real traces, external conversion) happens once. The format is a
+// little-endian stream:
+//
+//	header:  magic "CSMT" | u16 version | u16 reserved | u64 count
+//	record:  u64 pc | u8 class | u8 flags | i16 src1 | i16 src2 | i16 dst |
+//	         u64 addr | u64 target
+//
+// flags bit0 = branch taken.
+const (
+	traceMagic   = "CSMT"
+	traceVersion = 1
+	recordSize   = 8 + 1 + 1 + 2 + 2 + 2 + 8 + 8
+)
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Write serializes uops to w in the binary trace format.
+func Write(w io.Writer, uops []isa.Uop) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint16(hdr[0:], traceVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], 0)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(uops)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for i := range uops {
+		u := &uops[i]
+		binary.LittleEndian.PutUint64(rec[0:], u.PC)
+		rec[8] = byte(u.Class)
+		var flags byte
+		if u.Taken {
+			flags |= 1
+		}
+		rec[9] = flags
+		binary.LittleEndian.PutUint16(rec[10:], uint16(u.Src1))
+		binary.LittleEndian.PutUint16(rec[12:], uint16(u.Src2))
+		binary.LittleEndian.PutUint16(rec[14:], uint16(u.Dst))
+		binary.LittleEndian.PutUint64(rec[16:], u.Addr)
+		binary.LittleEndian.PutUint64(rec[24:], u.Target)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace previously written by Write.
+func Read(r io.Reader) ([]isa.Uop, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[4:])
+	const maxCount = 1 << 28 // 256M uops ≈ 8 GiB; refuse absurd headers
+	if count > maxCount {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadTrace, count)
+	}
+	uops := make([]isa.Uop, count)
+	var rec [recordSize]byte
+	for i := range uops {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+		}
+		u := &uops[i]
+		u.PC = binary.LittleEndian.Uint64(rec[0:])
+		u.Class = isa.Class(rec[8])
+		if !u.Class.Valid() || u.Class == isa.Copy {
+			return nil, fmt.Errorf("%w: record %d has invalid class %d", ErrBadTrace, i, rec[8])
+		}
+		u.Taken = rec[9]&1 != 0
+		u.Src1 = int16(binary.LittleEndian.Uint16(rec[10:]))
+		u.Src2 = int16(binary.LittleEndian.Uint16(rec[12:]))
+		u.Dst = int16(binary.LittleEndian.Uint16(rec[14:]))
+		u.Addr = binary.LittleEndian.Uint64(rec[16:])
+		u.Target = binary.LittleEndian.Uint64(rec[24:])
+	}
+	return uops, nil
+}

@@ -1,0 +1,137 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by the trace generator and the experiment harness.
+//
+// Reproducibility is a hard requirement: every figure in the paper
+// reproduction must regenerate bit-identical workloads across runs and Go
+// versions, so the simulator cannot depend on math/rand's unspecified
+// algorithm evolution. xrand implements splitmix64 (for seeding) and
+// xoshiro256** (for streams), both with published reference outputs.
+package xrand
+
+// SplitMix64 advances the splitmix64 state in *s and returns the next value.
+// It is used to derive independent stream seeds from a single user seed.
+func SplitMix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is invalid; construct
+// with New. Rand is not safe for concurrent use; give each goroutine its own.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded deterministically from seed.
+// Distinct seeds give statistically independent streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not start in the all-zero state; splitmix64 of any seed
+	// cannot yield four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation. The slight modulo
+	// bias of the simple approach would be harmless here, but rejection
+	// keeps streams portable if bounds change.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	lo = a * b
+	hi = a1*b1 + t>>32 + (t&mask+a0*b1)>>32
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p, i.e. the number of failures before the first success
+// (support {0, 1, 2, ...}, mean (1-p)/p). p must be in (0, 1].
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	n := 0
+	for !r.Bool(p) {
+		n++
+		if n > 1<<20 {
+			// Statistically unreachable for sane p; bounds a broken
+			// caller rather than spinning forever.
+			return n
+		}
+	}
+	return n
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional
+// to weights[i]. Weights must be non-negative with a positive sum.
+func (r *Rand) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: Pick with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
