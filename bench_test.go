@@ -200,6 +200,41 @@ func ablationProgs(b *testing.B) []core.ThreadProgram {
 	return progs
 }
 
+// BenchmarkAblationWakeup compares the event-driven wakeup (register-ready
+// broadcast + per-cluster ready lists) against the pre-refactor per-cycle
+// polling scan of the whole issue queue (Config.PollingWakeup). Both modes
+// produce bit-for-bit identical statistics (TestWakeupEquivalence in
+// internal/core); only cycles/s may differ.
+func BenchmarkAblationWakeup(b *testing.B) {
+	w, err := workload.Find("ispec00.mix.2.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var progs []core.ThreadProgram
+	for i, prof := range w.Threads {
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, core.ThreadProgram{Trace: g.Generate(benchTraceLen), Profile: prof, Seed: w.Seeds[i]})
+	}
+	for _, mode := range []struct {
+		name    string
+		polling bool
+	}{{"event", false}, {"polling-scan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(2)
+				cfg.PollingWakeup = mode.polling
+				p, err := core.NewScheme(cfg, "cdprf", progs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += p.Run().Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
 // BenchmarkAblationLinks sweeps inter-cluster link bandwidth.
 func BenchmarkAblationLinks(b *testing.B) {
 	progs := ablationProgs(b)

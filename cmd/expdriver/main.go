@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -25,13 +26,27 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig9|fig10|headline|future|all")
-		traceLen = flag.Int("len", 60000, "trace length per thread (uops)")
-		quick    = flag.Bool("quick", false, "reduced pool (3 type-balanced workloads per category)")
-		cats     = flag.String("categories", "", "comma-separated category subset (default: all)")
-		verbose  = flag.Bool("v", false, "log every simulation")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig9|fig10|headline|future|all")
+		traceLen   = flag.Int("len", 60000, "trace length per thread (uops)")
+		quick      = flag.Bool("quick", false, "reduced pool (3 type-balanced workloads per category)")
+		cats       = flag.String("categories", "", "comma-separated category subset (default: all)")
+		verbose    = flag.Bool("v", false, "log every simulation")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	r := experiments.NewRunner(*traceLen)
 	if *verbose {
@@ -52,6 +67,7 @@ func main() {
 		}
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			pprof.StopCPUProfile() // flush before the deferless exit
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,3 @@
+module clustersmt
+
+go 1.24

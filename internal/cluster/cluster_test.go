@@ -13,11 +13,11 @@ func TestIssueQueueBasics(t *testing.T) {
 		t.Fatal("fresh queue accounting")
 	}
 	for i := 1; i <= 4; i++ {
-		if !q.Insert(i, i%2) {
+		if _, ok := q.Insert(i, i%2); !ok {
 			t.Fatalf("insert %d failed", i)
 		}
 	}
-	if q.Insert(5, 0) {
+	if _, ok := q.Insert(5, 0); ok {
 		t.Fatal("insert into full queue succeeded")
 	}
 	if q.Occupancy(0) != 2 || q.Occupancy(1) != 2 {
@@ -151,7 +151,7 @@ func TestPortsCopiesNotPortBound(t *testing.T) {
 }
 
 func TestRegFileAllocFree(t *testing.T) {
-	rf := NewRegFile(4, 2, 2)
+	rf := NewRegFile[int](4, 2, 2)
 	if rf.Total(isa.IntReg) != 4 || rf.Total(isa.FpReg) != 2 {
 		t.Fatal("totals wrong")
 	}
@@ -179,7 +179,7 @@ func TestRegFileAllocFree(t *testing.T) {
 }
 
 func TestRegFileReadyBits(t *testing.T) {
-	rf := NewRegFile(2, 2, 1)
+	rf := NewRegFile[int](2, 2, 1)
 	idx, _ := rf.Alloc(isa.FpReg, 0)
 	if rf.IsReady(isa.FpReg, idx) {
 		t.Fatal("fresh register should not be ready")
@@ -197,7 +197,7 @@ func TestRegFileReadyBits(t *testing.T) {
 }
 
 func TestRegFileUnderflowPanics(t *testing.T) {
-	rf := NewRegFile(2, 2, 1)
+	rf := NewRegFile[int](2, 2, 1)
 	idx, _ := rf.Alloc(isa.IntReg, 0)
 	rf.Free(isa.IntReg, 0, idx)
 	defer func() {
@@ -209,7 +209,7 @@ func TestRegFileUnderflowPanics(t *testing.T) {
 }
 
 func TestRegFileBadIndexPanics(t *testing.T) {
-	rf := NewRegFile(2, 2, 1)
+	rf := NewRegFile[int](2, 2, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("out-of-range free should panic")
@@ -219,7 +219,7 @@ func TestRegFileBadIndexPanics(t *testing.T) {
 }
 
 func TestRegFileUnbounded(t *testing.T) {
-	rf := NewRegFile(0, 0, 1)
+	rf := NewRegFile[int](0, 0, 1)
 	if rf.Total(isa.IntReg) != UnboundedRegs {
 		t.Fatal("unbounded sizing wrong")
 	}
@@ -233,7 +233,7 @@ func TestRegFileUnbounded(t *testing.T) {
 // Property: alloc/free sequences keep FreeCount + sum(InUse) == Total.
 func TestRegFileConservationProperty(t *testing.T) {
 	f := func(ops []uint8) bool {
-		rf := NewRegFile(16, 8, 2)
+		rf := NewRegFile[int](16, 8, 2)
 		type held struct {
 			k   isa.RegKind
 			t   int
@@ -281,7 +281,7 @@ func TestIssueQueueOrderProperty(t *testing.T) {
 						break
 					}
 				}
-			} else if q.Insert(next, int(op)%2) {
+			} else if _, ok := q.Insert(next, int(op)%2); ok {
 				present = append(present, next)
 				next++
 			}

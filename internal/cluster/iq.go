@@ -4,25 +4,53 @@
 // issue ports (Table 1: P0 int/fp/simd, P1 int/fp/simd, P2 int/mem).
 package cluster
 
-import "clustersmt/internal/isa"
+import (
+	"slices"
+
+	"clustersmt/internal/isa"
+)
 
 // IssueQueue is a fixed-capacity, age-ordered issue queue. The payload T is
 // whatever the core uses to identify in-flight uops (typically a ROB entry
-// pointer). Entries stay in insertion (age) order so oldest-first select is
-// a linear scan.
+// pointer). Entries are kept in insertion (age) order on an intrusive
+// doubly-linked list over a slot arena, so oldest-first select is a linear
+// walk and removal by slot handle is O(1).
 //
 // The queue tracks per-thread occupancy because every partitioning scheme in
 // the paper is defined in terms of how many entries each thread holds.
+//
+// For event-driven wakeup the queue also keeps a ready list: the subset of
+// entries whose operands are all data-ready, maintained by the core through
+// MarkReady as register-ready broadcasts arrive. Select then walks only the
+// ready list (ScanReady) instead of re-testing every waiting entry's sources
+// every cycle.
 type IssueQueue[T comparable] struct {
-	capacity int
-	entries  []iqSlot[T]
-	occ      []int // per thread
+	slots []iqSlot[T]
+	occ   []int // per thread
+	n     int
+
+	head, tail, freeHead int32
+
+	// ready holds the wakeup-complete entries with their age tags. It is
+	// kept age-sorted lazily: MarkReady appends and flags unsorted when the
+	// new tail is out of order; ScanReady restores the order.
+	ready    []readyEnt[T]
+	unsorted bool
 }
 
 type iqSlot[T comparable] struct {
-	payload T
-	thread  int
+	payload    T
+	thread     int32
+	prev, next int32
+	live       bool
 }
+
+type readyEnt[T comparable] struct {
+	payload T
+	age     uint64
+}
+
+const nilSlot = int32(-1)
 
 // NewIssueQueue returns an issue queue with the given capacity, tracking
 // occupancy for n threads.
@@ -33,53 +61,104 @@ func NewIssueQueue[T comparable](capacity, n int) *IssueQueue[T] {
 	if n <= 0 {
 		n = 1
 	}
-	return &IssueQueue[T]{
-		capacity: capacity,
-		entries:  make([]iqSlot[T], 0, capacity),
-		occ:      make([]int, n),
+	q := &IssueQueue[T]{
+		slots: make([]iqSlot[T], capacity),
+		occ:   make([]int, n),
+		head:  nilSlot,
+		tail:  nilSlot,
 	}
+	for i := range q.slots {
+		q.slots[i].next = int32(i + 1)
+	}
+	q.slots[capacity-1].next = nilSlot
+	q.freeHead = 0
+	return q
 }
 
 // Capacity returns the total number of entries.
-func (q *IssueQueue[T]) Capacity() int { return q.capacity }
+func (q *IssueQueue[T]) Capacity() int { return len(q.slots) }
 
 // Len returns the number of occupied entries.
-func (q *IssueQueue[T]) Len() int { return len(q.entries) }
+func (q *IssueQueue[T]) Len() int { return q.n }
 
 // Free returns the number of available entries.
-func (q *IssueQueue[T]) Free() int { return q.capacity - len(q.entries) }
+func (q *IssueQueue[T]) Free() int { return len(q.slots) - q.n }
 
 // Occupancy returns the number of entries held by thread t.
 func (q *IssueQueue[T]) Occupancy(t int) int { return q.occ[t] }
 
-// Insert appends payload for thread t in age order. It reports false when
-// the queue is full.
-func (q *IssueQueue[T]) Insert(payload T, t int) bool {
-	if len(q.entries) >= q.capacity {
-		return false
+// Insert appends payload for thread t in age order and returns the slot
+// handle for O(1) removal. It reports false when the queue is full.
+func (q *IssueQueue[T]) Insert(payload T, t int) (int32, bool) {
+	s := q.freeHead
+	if s == nilSlot {
+		return nilSlot, false
 	}
-	q.entries = append(q.entries, iqSlot[T]{payload: payload, thread: t})
+	sl := &q.slots[s]
+	q.freeHead = sl.next
+	sl.payload = payload
+	sl.thread = int32(t)
+	sl.prev = q.tail
+	sl.next = nilSlot
+	sl.live = true
+	if q.tail != nilSlot {
+		q.slots[q.tail].next = s
+	} else {
+		q.head = s
+	}
+	q.tail = s
 	q.occ[t]++
-	return true
+	q.n++
+	return s, true
 }
 
 // Scan calls fn on every entry in age order (oldest first). If fn returns
-// false the scan stops early.
+// false the scan stops early. fn must not mutate the queue.
 func (q *IssueQueue[T]) Scan(fn func(payload T, thread int) bool) {
-	for i := range q.entries {
-		if !fn(q.entries[i].payload, q.entries[i].thread) {
+	for s := q.head; s != nilSlot; s = q.slots[s].next {
+		if !fn(q.slots[s].payload, int(q.slots[s].thread)) {
 			return
 		}
 	}
 }
 
+// RemoveAt deletes the entry in slot s (a handle returned by Insert) in
+// O(1), preserving age order of the survivors. The payload must match the
+// slot's occupant — a cheap guard against stale handles after slot reuse —
+// and also leaves the ready list if it was on it.
+func (q *IssueQueue[T]) RemoveAt(s int32, payload T) {
+	sl := &q.slots[s]
+	if !sl.live || sl.payload != payload {
+		panic("cluster: RemoveAt handle does not match its payload")
+	}
+	if sl.prev != nilSlot {
+		q.slots[sl.prev].next = sl.next
+	} else {
+		q.head = sl.next
+	}
+	if sl.next != nilSlot {
+		q.slots[sl.next].prev = sl.prev
+	} else {
+		q.tail = sl.prev
+	}
+	q.occ[sl.thread]--
+	q.n--
+	q.unmarkReady(sl.payload)
+	var zero T
+	sl.payload = zero // don't pin garbage
+	sl.live = false
+	sl.next = q.freeHead
+	q.freeHead = s
+}
+
 // Remove deletes the entry with the given payload, preserving age order.
-// It reports whether the payload was present.
+// The payload also leaves the ready list if it was on it. It reports whether
+// the payload was present. Callers holding the Insert handle should prefer
+// the O(1) RemoveAt.
 func (q *IssueQueue[T]) Remove(payload T) bool {
-	for i := range q.entries {
-		if q.entries[i].payload == payload {
-			q.occ[q.entries[i].thread]--
-			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	for s := q.head; s != nilSlot; s = q.slots[s].next {
+		if q.slots[s].payload == payload {
+			q.RemoveAt(s, payload)
 			return true
 		}
 	}
@@ -87,25 +166,68 @@ func (q *IssueQueue[T]) Remove(payload T) bool {
 }
 
 // RemoveIf deletes every entry for which fn returns true and returns the
-// number removed. Age order of survivors is preserved.
+// number removed. Age order of survivors is preserved and removed entries
+// leave the ready list.
 func (q *IssueQueue[T]) RemoveIf(fn func(payload T, thread int) bool) int {
-	kept := q.entries[:0]
 	removed := 0
-	for i := range q.entries {
-		if fn(q.entries[i].payload, q.entries[i].thread) {
-			q.occ[q.entries[i].thread]--
+	for s := q.head; s != nilSlot; {
+		next := q.slots[s].next
+		if fn(q.slots[s].payload, int(q.slots[s].thread)) {
+			q.RemoveAt(s, q.slots[s].payload)
 			removed++
-		} else {
-			kept = append(kept, q.entries[i])
+		}
+		s = next
+	}
+	return removed
+}
+
+// MarkReady puts payload on the ready list with the given age tag (a value
+// that orders entries the same way their queue insertion did, e.g. a global
+// rename sequence number). The core calls it when the last outstanding
+// source of an entry becomes ready, or at dispatch for entries whose sources
+// are all ready already. A payload must be marked at most once while queued.
+func (q *IssueQueue[T]) MarkReady(payload T, age uint64) {
+	if n := len(q.ready); n > 0 && q.ready[n-1].age > age {
+		q.unsorted = true
+	}
+	q.ready = append(q.ready, readyEnt[T]{payload: payload, age: age})
+}
+
+// ReadyLen returns the number of entries on the ready list.
+func (q *IssueQueue[T]) ReadyLen() int { return len(q.ready) }
+
+// ScanReady calls fn on every ready entry, oldest (smallest age tag) first.
+// If fn returns false the scan stops early. fn must not mutate the queue;
+// collect first, then remove.
+func (q *IssueQueue[T]) ScanReady(fn func(payload T) bool) {
+	if q.unsorted {
+		slices.SortFunc(q.ready, func(a, b readyEnt[T]) int {
+			switch {
+			case a.age < b.age:
+				return -1
+			case a.age > b.age:
+				return 1
+			default:
+				return 0
+			}
+		})
+		q.unsorted = false
+	}
+	for i := range q.ready {
+		if !fn(q.ready[i].payload) {
+			return
 		}
 	}
-	// Clear the tail so payloads don't pin garbage.
-	var zero iqSlot[T]
-	for i := len(kept); i < len(q.entries); i++ {
-		q.entries[i] = zero
+}
+
+// unmarkReady drops payload from the ready list, preserving order.
+func (q *IssueQueue[T]) unmarkReady(payload T) {
+	for i := range q.ready {
+		if q.ready[i].payload == payload {
+			q.ready = append(q.ready[:i], q.ready[i+1:]...)
+			return
+		}
 	}
-	q.entries = kept
-	return removed
 }
 
 // Ports models the three issue ports of one cluster. Reset at the start of

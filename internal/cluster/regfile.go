@@ -14,17 +14,29 @@ const UnboundedRegs = 1 << 14
 // RegFile is the physical register storage of one cluster: one file per
 // register kind (integer and FP/SIMD), each with a free list, per-thread
 // in-use counters, and data-ready bits used by the wakeup logic.
-type RegFile struct {
-	total [isa.NumRegKinds]int
-	free  [isa.NumRegKinds][]int32
-	ready [isa.NumRegKinds][]bool
-	inUse [isa.NumRegKinds][]int // per thread
+//
+// The wakeup logic is event-driven: consumers subscribe to a not-yet-ready
+// register with AddWaiter and are broadcast through OnWake exactly once,
+// when SetReady first marks the register ready. The waiter payload W is
+// whatever the core uses to identify waiting uops (typically a ROB entry
+// pointer).
+type RegFile[W comparable] struct {
+	total   [isa.NumRegKinds]int
+	free    [isa.NumRegKinds][]int32
+	ready   [isa.NumRegKinds][]bool
+	inUse   [isa.NumRegKinds][]int // per thread
+	waiters [isa.NumRegKinds][][]W
+
+	// OnWake, when non-nil, receives every waiter subscribed to a register
+	// at the moment SetReady makes it ready. Callbacks must not re-subscribe
+	// to the register that is waking them (it is ready now).
+	OnWake func(W)
 }
 
 // NewRegFile returns a register file with intRegs integer and fpRegs FP/SIMD
 // physical registers, tracking usage for n threads. Non-positive counts
 // select UnboundedRegs.
-func NewRegFile(intRegs, fpRegs, n int) *RegFile {
+func NewRegFile[W comparable](intRegs, fpRegs, n int) *RegFile[W] {
 	if intRegs <= 0 {
 		intRegs = UnboundedRegs
 	}
@@ -34,7 +46,7 @@ func NewRegFile(intRegs, fpRegs, n int) *RegFile {
 	if n <= 0 {
 		n = 1
 	}
-	rf := &RegFile{}
+	rf := &RegFile[W]{}
 	counts := [isa.NumRegKinds]int{isa.IntReg: intRegs, isa.FpReg: fpRegs}
 	for k := 0; k < isa.NumRegKinds; k++ {
 		c := counts[k]
@@ -46,37 +58,44 @@ func NewRegFile(intRegs, fpRegs, n int) *RegFile {
 		}
 		rf.ready[k] = make([]bool, c)
 		rf.inUse[k] = make([]int, n)
+		rf.waiters[k] = make([][]W, c)
 	}
 	return rf
 }
 
 // Total returns the number of physical registers of kind k.
-func (rf *RegFile) Total(k isa.RegKind) int { return rf.total[k] }
+func (rf *RegFile[W]) Total(k isa.RegKind) int { return rf.total[k] }
 
 // FreeCount returns the number of unallocated registers of kind k.
-func (rf *RegFile) FreeCount(k isa.RegKind) int { return len(rf.free[k]) }
+func (rf *RegFile[W]) FreeCount(k isa.RegKind) int { return len(rf.free[k]) }
 
 // InUse returns the number of registers of kind k held by thread t.
-func (rf *RegFile) InUse(k isa.RegKind, t int) int { return rf.inUse[k][t] }
+func (rf *RegFile[W]) InUse(k isa.RegKind, t int) int { return rf.inUse[k][t] }
 
 // Alloc takes a register of kind k for thread t. The register starts
 // not-ready. It returns -1 and false when the file is exhausted.
-func (rf *RegFile) Alloc(k isa.RegKind, t int) (int32, bool) {
+func (rf *RegFile[W]) Alloc(k isa.RegKind, t int) (int32, bool) {
 	fl := rf.free[k]
 	if len(fl) == 0 {
 		return -1, false
 	}
 	idx := fl[len(fl)-1]
 	rf.free[k] = fl[:len(fl)-1]
+	if len(rf.waiters[k][idx]) != 0 {
+		panic(fmt.Sprintf("cluster: Alloc(%v, %d) with live waiters", k, idx))
+	}
 	rf.ready[k][idx] = false
 	rf.inUse[k][t]++
 	return idx, true
 }
 
 // Free returns register idx of kind k held by thread t to the free list.
-func (rf *RegFile) Free(k isa.RegKind, t int, idx int32) {
+func (rf *RegFile[W]) Free(k isa.RegKind, t int, idx int32) {
 	if idx < 0 || int(idx) >= rf.total[k] {
 		panic(fmt.Sprintf("cluster: Free(%v, %d) out of range", k, idx))
+	}
+	if len(rf.waiters[k][idx]) != 0 {
+		panic(fmt.Sprintf("cluster: Free(%v, %d) with live waiters", k, idx))
 	}
 	rf.inUse[k][t]--
 	if rf.inUse[k][t] < 0 {
@@ -85,8 +104,63 @@ func (rf *RegFile) Free(k isa.RegKind, t int, idx int32) {
 	rf.free[k] = append(rf.free[k], idx)
 }
 
-// SetReady marks register idx of kind k data-ready.
-func (rf *RegFile) SetReady(k isa.RegKind, idx int32) { rf.ready[k][idx] = true }
+// SetReady marks register idx of kind k data-ready and broadcasts to its
+// waiters, in subscription order, through OnWake. A register already ready
+// broadcasts nothing (SetReady is idempotent).
+func (rf *RegFile[W]) SetReady(k isa.RegKind, idx int32) {
+	if rf.ready[k][idx] {
+		return
+	}
+	rf.ready[k][idx] = true
+	ws := rf.waiters[k][idx]
+	if len(ws) == 0 {
+		return
+	}
+	// Keep the backing array for reuse by the next holder of this register.
+	// AddWaiter rejects ready registers, so OnWake cannot append to ws while
+	// we drain it.
+	rf.waiters[k][idx] = ws[:0]
+	var zero W
+	for i, w := range ws {
+		ws[i] = zero
+		if rf.OnWake != nil {
+			rf.OnWake(w)
+		}
+	}
+}
 
 // IsReady reports whether register idx of kind k is data-ready.
-func (rf *RegFile) IsReady(k isa.RegKind, idx int32) bool { return rf.ready[k][idx] }
+func (rf *RegFile[W]) IsReady(k isa.RegKind, idx int32) bool { return rf.ready[k][idx] }
+
+// AddWaiter subscribes w to register idx of kind k. The register must not be
+// ready yet: consumers of a ready register never wait (check IsReady first).
+func (rf *RegFile[W]) AddWaiter(k isa.RegKind, idx int32, w W) {
+	if rf.ready[k][idx] {
+		panic(fmt.Sprintf("cluster: AddWaiter(%v, %d) on ready register", k, idx))
+	}
+	rf.waiters[k][idx] = append(rf.waiters[k][idx], w)
+}
+
+// RemoveWaiter unsubscribes one occurrence of w from register idx of kind k
+// (the squash path). It reports whether an occurrence was found; removing an
+// absent waiter is a no-op, so callers may unsubscribe sources that already
+// woke them.
+func (rf *RegFile[W]) RemoveWaiter(k isa.RegKind, idx int32, w W) bool {
+	ws := rf.waiters[k][idx]
+	for i := range ws {
+		if ws[i] == w {
+			copy(ws[i:], ws[i+1:])
+			var zero W
+			ws[len(ws)-1] = zero
+			rf.waiters[k][idx] = ws[:len(ws)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// WaiterCount returns the number of subscriptions on register idx of kind k
+// (tests and invariant checks).
+func (rf *RegFile[W]) WaiterCount(k isa.RegKind, idx int32) int {
+	return len(rf.waiters[k][idx])
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+
+	"clustersmt/internal/isa"
+)
+
+func TestRegFileWaiterBroadcast(t *testing.T) {
+	rf := NewRegFile[int](4, 2, 1)
+	var woken []int
+	rf.OnWake = func(w int) { woken = append(woken, w) }
+	idx, _ := rf.Alloc(isa.IntReg, 0)
+	rf.AddWaiter(isa.IntReg, idx, 10)
+	rf.AddWaiter(isa.IntReg, idx, 20)
+	rf.AddWaiter(isa.IntReg, idx, 30)
+	if rf.WaiterCount(isa.IntReg, idx) != 3 {
+		t.Fatalf("waiter count %d, want 3", rf.WaiterCount(isa.IntReg, idx))
+	}
+	rf.SetReady(isa.IntReg, idx)
+	if len(woken) != 3 || woken[0] != 10 || woken[1] != 20 || woken[2] != 30 {
+		t.Fatalf("broadcast %v, want [10 20 30] in subscription order", woken)
+	}
+	if rf.WaiterCount(isa.IntReg, idx) != 0 {
+		t.Fatal("waiter list not drained by broadcast")
+	}
+	// Idempotent SetReady must not re-broadcast.
+	rf.SetReady(isa.IntReg, idx)
+	if len(woken) != 3 {
+		t.Fatal("second SetReady re-broadcast")
+	}
+}
+
+// The squash-during-wait case: a consumer squashed while subscribed
+// unsubscribes with RemoveWaiter, so the later broadcast never sees it.
+func TestRegFileSquashDuringWaitUnlink(t *testing.T) {
+	rf := NewRegFile[int](4, 2, 1)
+	var woken []int
+	rf.OnWake = func(w int) { woken = append(woken, w) }
+	idx, _ := rf.Alloc(isa.IntReg, 0)
+	rf.AddWaiter(isa.IntReg, idx, 1)
+	rf.AddWaiter(isa.IntReg, idx, 2)
+	if !rf.RemoveWaiter(isa.IntReg, idx, 1) {
+		t.Fatal("RemoveWaiter missed a subscribed waiter")
+	}
+	rf.SetReady(isa.IntReg, idx)
+	if len(woken) != 1 || woken[0] != 2 {
+		t.Fatalf("broadcast %v, want [2]: squashed waiter still woke", woken)
+	}
+}
+
+// The copy-uop case: an entry subscribed twice (both sources name the same
+// physical register, as a copy consumer pair can) is unlinked one occurrence
+// at a time, and unlinking an already-woken source is a tolerated no-op.
+func TestRegFileWaiterUnlinkOccurrences(t *testing.T) {
+	rf := NewRegFile[int](4, 2, 1)
+	idx, _ := rf.Alloc(isa.IntReg, 0)
+	rf.AddWaiter(isa.IntReg, idx, 7)
+	rf.AddWaiter(isa.IntReg, idx, 7)
+	if !rf.RemoveWaiter(isa.IntReg, idx, 7) {
+		t.Fatal("first occurrence not removed")
+	}
+	if rf.WaiterCount(isa.IntReg, idx) != 1 {
+		t.Fatal("RemoveWaiter must remove exactly one occurrence")
+	}
+	if !rf.RemoveWaiter(isa.IntReg, idx, 7) {
+		t.Fatal("second occurrence not removed")
+	}
+	if rf.RemoveWaiter(isa.IntReg, idx, 7) {
+		t.Fatal("removing an absent waiter reported success")
+	}
+}
+
+func TestRegFileAddWaiterOnReadyPanics(t *testing.T) {
+	rf := NewRegFile[int](2, 2, 1)
+	idx, _ := rf.Alloc(isa.IntReg, 0)
+	rf.SetReady(isa.IntReg, idx)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddWaiter on a ready register should panic")
+		}
+	}()
+	rf.AddWaiter(isa.IntReg, idx, 1)
+}
+
+func TestRegFileFreeWithWaitersPanics(t *testing.T) {
+	rf := NewRegFile[int](2, 2, 1)
+	idx, _ := rf.Alloc(isa.IntReg, 0)
+	rf.AddWaiter(isa.IntReg, idx, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing a waited-on register should panic")
+		}
+	}()
+	rf.Free(isa.IntReg, 0, idx)
+}
+
+func TestIssueQueueReadyListOrder(t *testing.T) {
+	q := NewIssueQueue[int](8, 1)
+	for i := 1; i <= 5; i++ {
+		q.Insert(i, 0)
+	}
+	// Wakeups arrive out of age order; select must still see oldest first.
+	q.MarkReady(4, 4)
+	q.MarkReady(2, 2)
+	q.MarkReady(5, 5)
+	if q.ReadyLen() != 3 {
+		t.Fatalf("ready len %d, want 3", q.ReadyLen())
+	}
+	var got []int
+	q.ScanReady(func(v int) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []int{2, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanReady %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIssueQueueRemovePurgesReadyList(t *testing.T) {
+	q := NewIssueQueue[int](8, 2)
+	for i := 1; i <= 4; i++ {
+		q.Insert(i, i%2)
+	}
+	q.MarkReady(1, 1)
+	q.MarkReady(3, 3)
+	q.Remove(3)
+	if q.ReadyLen() != 1 {
+		t.Fatalf("ready len %d after Remove, want 1", q.ReadyLen())
+	}
+	q.RemoveIf(func(v, _ int) bool { return v == 1 })
+	if q.ReadyLen() != 0 {
+		t.Fatalf("ready len %d after RemoveIf, want 0", q.ReadyLen())
+	}
+	var got []int
+	q.ScanReady(func(v int) bool { got = append(got, v); return true })
+	if len(got) != 0 {
+		t.Fatalf("ScanReady %v after purge, want empty", got)
+	}
+}

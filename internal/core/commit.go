@@ -47,7 +47,7 @@ func (p *Processor) commit() {
 	start := p.rrCommit
 	p.rrCommit = (p.rrCommit + 1) % n
 	for i := 0; i < n && budget > 0; i++ {
-		t := (start + i) % n
+		t := wrapIdx(start+i, n)
 		ts := p.threads[t]
 		for budget > 0 {
 			e := ts.rob.Head()

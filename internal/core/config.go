@@ -66,6 +66,14 @@ type Config struct {
 	// warm-up methodology for trace-driven simulation. 0 disables.
 	WarmupUops uint64
 
+	// PollingWakeup reverts the issue stage to the pre-event-driven
+	// behavior: every cycle, scan the whole issue queue and re-test every
+	// waiting entry's sources against the register ready bits. The default
+	// (false) selects event-driven wakeup, which produces bit-for-bit
+	// identical results; the flag exists for the ablation benchmark and the
+	// equivalence tests.
+	PollingWakeup bool
+
 	// MaxCycles bounds a run (safety net; 0 selects a large default).
 	MaxCycles int64
 	// RunToCompletion makes Run continue until every thread finishes its

@@ -32,7 +32,7 @@ func (p *Processor) fetch() {
 	best := 1 << 30
 	n := p.cfg.NumThreads
 	for i := 0; i < n; i++ {
-		t := (p.rrSelect + i) % n
+		t := wrapIdx(p.rrSelect+i, n)
 		if !p.canFetch(t) {
 			continue
 		}

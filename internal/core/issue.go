@@ -98,12 +98,24 @@ func (p *Processor) executeLoad(e *frontend.ROBEntry) int64 {
 // ready-but-unissued uops in the leftover matrix for the Fig. 5 metric.
 func (p *Processor) issueCluster(c int) (issuedAny bool) {
 	ready := p.scratchReady[:0]
-	p.iqs[c].Scan(func(e *frontend.ROBEntry, _ int) bool {
-		if p.entryReady(e) {
+	if p.cfg.PollingWakeup {
+		// Ablation/verification path: the pre-event-driven full scan,
+		// re-testing every waiting entry's sources every cycle.
+		p.iqs[c].Scan(func(e *frontend.ROBEntry, _ int) bool {
+			if p.entryReady(e) {
+				ready = append(ready, e)
+			}
+			return true
+		})
+	} else {
+		p.iqs[c].ScanReady(func(e *frontend.ROBEntry) bool {
 			ready = append(ready, e)
+			return true
+		})
+		if debugWakeup {
+			p.checkReadyList(c, ready)
 		}
-		return true
-	})
+	}
 	p.scratchReady = ready[:0]
 
 	for _, e := range ready {
@@ -114,7 +126,8 @@ func (p *Processor) issueCluster(c int) (issuedAny bool) {
 				continue // link bandwidth exhausted this cycle
 			}
 			e.Issued = true
-			p.iqs[c].Remove(e)
+			p.iqs[c].RemoveAt(e.IQSlot, e)
+			e.IQSlot = -1
 			p.schedule(e, arrive)
 			p.stats.CopyTransfers++
 			issuedAny = true
@@ -143,7 +156,8 @@ func (p *Processor) issueCluster(c int) (issuedAny bool) {
 			panic("core: port grant failed after HasFree")
 		}
 		e.Issued = true
-		p.iqs[c].Remove(e)
+		p.iqs[c].RemoveAt(e.IQSlot, e)
+		e.IQSlot = -1
 		p.schedule(e, doneAt)
 		p.stats.IssuedUops++
 		issuedAny = true
@@ -163,7 +177,7 @@ func (p *Processor) issue() {
 	// advantage at the shared L1 ports and links.
 	start := int(p.now) % p.cfg.NumClusters
 	for i := 0; i < p.cfg.NumClusters; i++ {
-		if p.issueCluster((start + i) % p.cfg.NumClusters) {
+		if p.issueCluster(wrapIdx(start+i, p.cfg.NumClusters)) {
 			issuedAny = true
 		}
 	}

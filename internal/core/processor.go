@@ -73,7 +73,7 @@ type Processor struct {
 	net  *interconnect.Network
 
 	iqs   []*cluster.IssueQueue[*frontend.ROBEntry]
-	rfs   []*cluster.RegFile
+	rfs   []*cluster.RegFile[*frontend.ROBEntry]
 	ports []cluster.Ports
 
 	threads []*threadState
@@ -129,7 +129,9 @@ func New(cfg Config, sel policy.Selector, iqPol policy.IQPolicy, rfPol policy.RF
 	}
 	for c := 0; c < cfg.NumClusters; c++ {
 		p.iqs = append(p.iqs, cluster.NewIssueQueue[*frontend.ROBEntry](cfg.IQSize, cfg.NumThreads))
-		p.rfs = append(p.rfs, cluster.NewRegFile(cfg.IntRegsPerCluster, cfg.FpRegsPerCluster, cfg.NumThreads))
+		rf := cluster.NewRegFile[*frontend.ROBEntry](cfg.IntRegsPerCluster, cfg.FpRegsPerCluster, cfg.NumThreads)
+		rf.OnWake = p.wake
+		p.rfs = append(p.rfs, rf)
 	}
 	p.ports = make([]cluster.Ports, cfg.NumClusters)
 	for t := 0; t < cfg.NumThreads; t++ {
@@ -196,6 +198,15 @@ func iqCluster(e *frontend.ROBEntry) int {
 		return e.SrcCluster
 	}
 	return e.Cluster
+}
+
+// wrapIdx reduces i into [0, n) given i < 2n, the round-robin rotation of
+// the per-cycle loops, without the hardware divide of a variable modulo.
+func wrapIdx(i, n int) int {
+	if i >= n {
+		i -= n
+	}
+	return i
 }
 
 // policy.Machine implementation -------------------------------------------

@@ -53,7 +53,7 @@ func (p *Processor) buildPlan(t int, u *isa.Uop, c int) *renamePlan {
 		if reg == isa.RegNone {
 			continue
 		}
-		m := ts.rat.Get(reg)
+		m := ts.rat.GetRef(reg)
 		if !m.AnyValid() || m.Valid[c] {
 			continue
 		}
@@ -87,22 +87,27 @@ func (p *Processor) buildPlan(t int, u *isa.Uop, c int) *renamePlan {
 	return pl
 }
 
-// checkPlace tests whether thread t's uop can be placed in cluster c under
-// the plan; on failure it reports the binding constraint and, for register
-// failures, the starving kind.
-func (p *Processor) checkPlace(t, c int, u *isa.Uop, pl *renamePlan) (placeFail, isa.RegKind) {
+// tryPlace tests whether thread t's uop can be placed in cluster c; on
+// failure it reports the binding constraint and, for register failures, the
+// starving kind. The constraint order is IQ → source IQs → registers → MOB
+// → ROB; the resource plan is only built (buildPlan is RAT-lookup heavy)
+// once the cheap issue-queue gate has passed, which skips it entirely on
+// the most common stall. On success the surviving plan is returned for
+// place.
+func (p *Processor) tryPlace(t, c int, u *isa.Uop) (*renamePlan, placeFail, isa.RegKind) {
 	// Issue-queue space: the uop's own entry obeys the scheme cap; the
 	// copies it forces in the source clusters need physical space only
 	// (charging copies against the cap would double-punish communication;
 	// see DESIGN.md).
-	if pl.needIQ {
+	if u.Class != isa.Nop {
 		if !p.iqPol.Allows(t, c, p) || p.iqs[c].Free() < 1 {
-			return failIQ, 0
+			return nil, failIQ, 0
 		}
 	}
+	pl := p.buildPlan(t, u, c)
 	for cl := 0; cl < p.cfg.NumClusters; cl++ {
 		if pl.needSrcIQ[cl] > 0 && p.iqs[cl].Free() < pl.needSrcIQ[cl] {
-			return failIQ, 0
+			return nil, failIQ, 0
 		}
 	}
 	for k := 0; k < isa.NumRegKinds; k++ {
@@ -112,16 +117,16 @@ func (p *Processor) checkPlace(t, c int, u *isa.Uop, pl *renamePlan) (placeFail,
 		}
 		kind := isa.RegKind(k)
 		if !p.rfPol.MayAllocate(t, kind, c, n, p) || p.rfs[c].FreeCount(kind) < n {
-			return failRF, kind
+			return nil, failRF, kind
 		}
 	}
 	if u.IsMem() && p.mobq.Free() < 1 {
-		return failMOB, 0
+		return nil, failMOB, 0
 	}
 	if p.threads[t].rob.Free() < pl.robNeeded {
-		return failROB, 0
+		return nil, failROB, 0
 	}
-	return failNone, 0
+	return pl, failNone, 0
 }
 
 // place renames the uop into cluster c, inserting the planned copies first.
@@ -154,9 +159,12 @@ func (p *Processor) place(t, c int, fu *frontend.FetchedUop, pl *renamePlan) {
 		if !ts.rob.Push(e) {
 			panic("core: ROB push failed after check")
 		}
-		if !p.iqs[cp.srcCluster].Insert(e, t) {
+		s, ok := p.iqs[cp.srcCluster].Insert(e, t)
+		if !ok {
 			panic("core: copy IQ insert failed after check")
 		}
+		e.IQSlot = s
+		p.linkWakeup(e)
 		p.stats.CopiesGenerated++
 	}
 
@@ -176,11 +184,11 @@ func (p *Processor) place(t, c int, fu *frontend.FetchedUop, pl *renamePlan) {
 	e.HistCheckpoint = fu.HistCheckpoint
 
 	srcs := [2]int16{u.Src1, u.Src2}
-	for i, reg := range srcs {
+	for _, reg := range srcs {
 		if reg == isa.RegNone {
 			continue
 		}
-		m := ts.rat.Get(reg)
+		m := ts.rat.GetRef(reg)
 		if m.Valid[c] {
 			e.SrcPhys[e.NumSrc] = m.Phys[c]
 		} else {
@@ -189,7 +197,6 @@ func (p *Processor) place(t, c int, fu *frontend.FetchedUop, pl *renamePlan) {
 		}
 		e.SrcKind[e.NumSrc] = isa.KindOf(reg)
 		e.NumSrc++
-		_ = i
 	}
 
 	if u.HasDest() {
@@ -218,8 +225,13 @@ func (p *Processor) place(t, c int, fu *frontend.FetchedUop, pl *renamePlan) {
 	if u.Class == isa.Nop {
 		e.Issued = true
 		e.Completed = true
-	} else if !p.iqs[c].Insert(e, t) {
-		panic("core: IQ insert failed after check")
+	} else {
+		s, ok := p.iqs[c].Insert(e, t)
+		if !ok {
+			panic("core: IQ insert failed after check")
+		}
+		e.IQSlot = s
+		p.linkWakeup(e)
 	}
 	p.stats.Renamed++
 }
@@ -233,13 +245,15 @@ func (p *Processor) renameOne(t int, fu *frontend.FetchedUop) bool {
 
 	// Steering preference: the cluster holding most source operands, or
 	// the static binding of the PC scheme.
+	n := p.cfg.NumClusters
 	var pref int
-	if c, forced := p.iqPol.ForcedCluster(t); forced {
-		pref = c % p.cfg.NumClusters
+	forcedC, forced := p.iqPol.ForcedCluster(t)
+	if forced {
+		pref = forcedC % n
 	} else {
 		srcCnt := p.scratchSrcCnt
 		occ := p.scratchOcc
-		for c := 0; c < p.cfg.NumClusters; c++ {
+		for c := 0; c < n; c++ {
 			srcCnt[c] = 0
 			occ[c] = p.iqs[c].Len()
 		}
@@ -248,8 +262,8 @@ func (p *Processor) renameOne(t int, fu *frontend.FetchedUop) bool {
 			if reg == isa.RegNone {
 				continue
 			}
-			m := ts.rat.Get(reg)
-			for c := 0; c < p.cfg.NumClusters; c++ {
+			m := ts.rat.GetRef(reg)
+			for c := 0; c < n; c++ {
 				if m.Valid[c] {
 					srcCnt[c]++
 				}
@@ -258,15 +272,12 @@ func (p *Processor) renameOne(t int, fu *frontend.FetchedUop) bool {
 		pref = p.st.Prefer(t, srcCnt, occ, p.cfg.IQSize)
 	}
 
-	_, forced := p.iqPol.ForcedCluster(t)
-
 	var firstFail placeFail
 	var firstKind isa.RegKind
 	prefIQFail := false
-	for i := 0; i < p.cfg.NumClusters; i++ {
-		c := (pref + i) % p.cfg.NumClusters
-		pl := p.buildPlan(t, u, c)
-		fail, kind := p.checkPlace(t, c, u, pl)
+	for i := 0; i < n; i++ {
+		c := wrapIdx(pref+i, n)
+		pl, fail, kind := p.tryPlace(t, c, u)
 		if fail == failNone {
 			if i > 0 || prefIQFail {
 				// Could not go to the preferred cluster: the Fig. 4
@@ -324,7 +335,7 @@ func (p *Processor) rename() {
 	n := p.cfg.NumThreads
 	order := p.scratchOrder[:0]
 	for i := 0; i < n; i++ {
-		t := (p.rrSelect + i) % n
+		t := wrapIdx(p.rrSelect+i, n)
 		if p.threads[t].fq.Len() == 0 || !p.sel.Eligible(t, p) {
 			continue
 		}

@@ -51,9 +51,13 @@ func (p *Processor) squashAfter(t int, boundary uint64) (ckpt uint64, haveCkpt b
 			p.rfs[e.Cluster].Free(e.DstKind, t, e.DstPhys)
 		}
 		if !e.Issued {
-			if !p.iqs[iqCluster(e)].Remove(e) {
-				panic("core: squashed unissued uop missing from issue queue")
-			}
+			// Unsubscribe from register-ready broadcasts before the register
+			// itself is freed (the producer may be squashed later in this
+			// same walk); RemoveAt also purges the entry from the ready list
+			// and panics if the slot no longer holds this uop.
+			p.unlinkWakeup(e)
+			p.iqs[iqCluster(e)].RemoveAt(e.IQSlot, e)
+			e.IQSlot = -1
 		}
 		if e.MOBEntry != nil {
 			p.mobq.Release(e.MOBEntry)

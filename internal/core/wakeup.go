@@ -1,0 +1,108 @@
+package core
+
+import "clustersmt/internal/frontend"
+
+// Event-driven wakeup. Instead of re-testing every waiting issue-queue
+// entry's sources against the register ready bits every cycle (the polling
+// scan that dominated simulator profiles), each entry counts its outstanding
+// not-yet-ready sources at dispatch and subscribes to them; when a
+// destination register becomes ready, the register file broadcasts to the
+// subscribed entries, and an entry whose count reaches zero joins its issue
+// queue's ready list. Select then walks only ready entries.
+//
+// The transformation is exact because readiness is monotone while an entry
+// waits: the only transition back to not-ready is RegFile.Alloc, and a
+// waited-on register cannot be reallocated — it is freed either at commit of
+// a younger redefinition (which, by in-order commit, retires after every
+// older consumer has issued) or at squash (which squashes and unlinks every
+// younger consumer first, tail to head). The equivalence tests in
+// wakeup_test.go assert bit-for-bit identical metrics.Stats against the
+// polling path (Config.PollingWakeup).
+
+// debugWakeup, when set by a test, cross-checks the ready list against a
+// full polling scan every select.
+var debugWakeup bool
+
+// wake is installed as every RegFile's OnWake callback: one source of e
+// became ready.
+func (p *Processor) wake(e *frontend.ROBEntry) {
+	e.WaitCount--
+	if e.WaitCount < 0 {
+		panic("core: wakeup broadcast to an entry with no outstanding sources")
+	}
+	if e.WaitCount == 0 {
+		p.iqs[iqCluster(e)].MarkReady(e, e.ID)
+	}
+}
+
+// linkWakeup counts e's outstanding sources and subscribes e to each; an
+// entry with none joins the ready list immediately. Called at dispatch, after
+// the entry entered its issue queue. Copies wait on their single cross-
+// cluster source; everything else waits on its own cluster's registers.
+func (p *Processor) linkWakeup(e *frontend.ROBEntry) {
+	if p.cfg.PollingWakeup {
+		return
+	}
+	e.WaitCount = 0
+	if e.IsCopy() {
+		if ph := e.CopySrcPhys; ph >= 0 && !p.rfs[e.SrcCluster].IsReady(e.DstKind, ph) {
+			p.rfs[e.SrcCluster].AddWaiter(e.DstKind, ph, e)
+			e.WaitCount++
+		}
+	} else {
+		for i := 0; i < e.NumSrc; i++ {
+			if ph := e.SrcPhys[i]; ph >= 0 && !p.rfs[e.Cluster].IsReady(e.SrcKind[i], ph) {
+				p.rfs[e.Cluster].AddWaiter(e.SrcKind[i], ph, e)
+				e.WaitCount++
+			}
+		}
+	}
+	if e.WaitCount == 0 {
+		p.iqs[iqCluster(e)].MarkReady(e, e.ID)
+	}
+}
+
+// unlinkWakeup unsubscribes a squashed, unissued e from its waited-on
+// registers. Sources that already broadcast are no longer subscribed;
+// RemoveWaiter tolerates them. The ready list is purged separately, by the
+// IssueQueue.RemoveAt call of the squash path.
+func (p *Processor) unlinkWakeup(e *frontend.ROBEntry) {
+	if p.cfg.PollingWakeup || e.WaitCount == 0 {
+		return
+	}
+	if e.IsCopy() {
+		p.rfs[e.SrcCluster].RemoveWaiter(e.DstKind, e.CopySrcPhys, e)
+	} else {
+		for i := 0; i < e.NumSrc; i++ {
+			if ph := e.SrcPhys[i]; ph >= 0 {
+				p.rfs[e.Cluster].RemoveWaiter(e.SrcKind[i], ph, e)
+			}
+		}
+	}
+	e.WaitCount = 0
+}
+
+// checkReadyList panics unless cluster c's ready list matches what a full
+// polling scan would select (debugWakeup test hook).
+func (p *Processor) checkReadyList(c int, ready []*frontend.ROBEntry) {
+	want := map[*frontend.ROBEntry]bool{}
+	p.iqs[c].Scan(func(e *frontend.ROBEntry, _ int) bool {
+		if p.entryReady(e) {
+			want[e] = true
+		}
+		return true
+	})
+	if len(want) != len(ready) {
+		panic("core: ready list disagrees with polling scan (size)")
+	}
+	var lastID uint64
+	for i, e := range ready {
+		if !want[e] {
+			panic("core: ready list holds an entry the polling scan rejects")
+		}
+		if i > 0 && e.ID <= lastID {
+			panic("core: ready list out of age order")
+		}
+		lastID = e.ID
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+// runWakeupMode runs one fixed-seed simulation in the given wakeup mode with
+// the ready-list cross-check armed.
+func runWakeupMode(t *testing.T, w workload.Workload, scheme string, n int, polling bool, mut func(*Config)) *Processor {
+	t.Helper()
+	var progs []ThreadProgram
+	for i, prof := range w.Threads {
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, ThreadProgram{Trace: g.Generate(n), Profile: prof, Seed: w.Seeds[i]})
+	}
+	cfg := DefaultConfig(len(progs))
+	cfg.PollingWakeup = polling
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := NewScheme(cfg, scheme, progs)
+	if err != nil {
+		t.Fatalf("NewScheme(%s): %v", scheme, err)
+	}
+	p.Run()
+	return p
+}
+
+// TestWakeupEquivalence is the tentpole's correctness gate: event-driven
+// wakeup must produce bit-for-bit identical statistics to the per-cycle
+// polling scan on fixed seeds, across schemes, cluster counts and resource
+// pressure. debugWakeup additionally cross-checks every cycle's ready list
+// against a polling scan while the event-driven runs execute.
+func TestWakeupEquivalence(t *testing.T) {
+	debugWakeup = true
+	defer func() { debugWakeup = false }()
+	cases := []struct {
+		name     string
+		workload string
+		scheme   string
+		mut      func(*Config)
+	}{
+		{"icount", "ispec00.mix.2.1", "icount", nil},
+		{"cssp", "ispec00.mix.2.1", "cssp", nil},
+		{"cdprf", "server.mix.2.1", "cdprf", nil},
+		{"pc", "fspec00.mix.2.1", "pc", nil},
+		{"flush+", "mixes.mix.2.1", "flush+", nil},
+		{"tight-rf", "ispec00.mix.2.1", "cssp", func(c *Config) {
+			c.IntRegsPerCluster = 40
+			c.FpRegsPerCluster = 40
+		}},
+		{"unbounded", "ispec00.mix.2.1", "cssp", func(c *Config) {
+			c.IntRegsPerCluster = 0
+			c.FpRegsPerCluster = 0
+			c.ROBPerThread = 0
+		}},
+		{"one-cluster", "ispec00.mix.2.1", "icount", func(c *Config) {
+			c.NumClusters = 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := workload.Find(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			polled := runWakeupMode(t, w, tc.scheme, 6000, true, tc.mut)
+			event := runWakeupMode(t, w, tc.scheme, 6000, false, tc.mut)
+			if !reflect.DeepEqual(polled.Stats(), event.Stats()) {
+				t.Errorf("stats diverge between polling and event-driven wakeup:\npolling: %+v\nevent:   %+v",
+					polled.Stats(), event.Stats())
+			}
+		})
+	}
+}
+
+// TestWakeupGolden pins fixed-seed headline statistics so any future change
+// to the wakeup path that shifts results (rather than just speed) fails
+// loudly. The values were produced by the pre-refactor polling
+// implementation at this exact seed/config and must never drift.
+func TestWakeupGolden(t *testing.T) {
+	w, err := workload.Find("ispec00.mix.2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runWakeupMode(t, w, "cdprf", 8000, false, nil)
+	st := p.Stats()
+	got := map[string]uint64{
+		"cycles":   uint64(st.Cycles),
+		"ret0":     st.Committed[0],
+		"ret1":     st.Committed[1],
+		"copies":   st.CommittedCopies,
+		"iqstalls": st.IQStalls,
+		"rfstalls": st.RFStalls,
+		"squashed": st.Squashed,
+	}
+	want := goldenCDPRF
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %d, want %d (full: %+v)", k, got[k], v, got)
+		}
+	}
+}
+
+// TestWakeupSquashStress drives the squash-during-wait path hard: a branchy,
+// memory-bound workload under Flush+ squashes waiting consumers (including
+// copy uops and their consumers) from both misprediction and flush events,
+// with the per-cycle ready-list cross-check armed. Any waiter that outlives
+// its squash panics in RegFile.Alloc/Free or trips checkReadyList.
+func TestWakeupSquashStress(t *testing.T) {
+	debugWakeup = true
+	defer func() { debugWakeup = false }()
+	w, err := workload.Find("server.mem.2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runWakeupMode(t, w, "flush+", 8000, false, func(c *Config) {
+		c.IntRegsPerCluster = 48
+		c.FpRegsPerCluster = 48
+	})
+	st := p.Stats()
+	if st.Mispredicts == 0 || st.Squashed == 0 {
+		t.Fatalf("stress run squashed nothing (mispredicts=%d squashed=%d)", st.Mispredicts, st.Squashed)
+	}
+	if st.Flushes == 0 {
+		t.Fatalf("stress run never flushed")
+	}
+}
+
+// goldenCDPRF was captured from the pre-refactor polling implementation
+// (ispec00.mix.2.1, cdprf, 8000-uop traces, Table 1 defaults).
+var goldenCDPRF = map[string]uint64{
+	"cycles":   12629,
+	"ret0":     8000,
+	"ret1":     1710,
+	"copies":   1537,
+	"iqstalls": 8888,
+	"rfstalls": 8509,
+	"squashed": 6409,
+}
+

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"clustersmt/internal/core"
+	"clustersmt/internal/isa"
 	"clustersmt/internal/metrics"
 	"clustersmt/internal/trace"
 	"clustersmt/internal/workload"
@@ -34,6 +35,16 @@ func (s Spec) key() string {
 
 // Runner executes Specs with memoization and a bounded worker pool.
 // It is safe for concurrent use.
+//
+// Two layers are shared across runs. Completed results are memoized by spec
+// key, with singleflight in-flight tracking so concurrent requests for the
+// same spec execute it exactly once. Materialized traces are memoized by
+// (workload, thread, length): the ~100+ specs behind one figure differ in
+// scheme and resource sizing but re-read the same uop streams, and a
+// thread's trace is identical whether it runs alone (the fairness baseline)
+// or inside the SMT pair, so generation cost is paid once per workload
+// thread rather than once per spec. Traces are read-only to the core, which
+// is what makes the sharing safe.
 type Runner struct {
 	// TraceLen is the per-thread trace length in uops.
 	TraceLen int
@@ -44,8 +55,34 @@ type Runner struct {
 	// Verbose, when set, receives one line per completed run.
 	Verbose func(string)
 
-	mu    sync.Mutex
-	cache map[string]*metrics.Stats
+	mu       sync.Mutex
+	cache    map[string]*metrics.Stats
+	inflight map[string]*flight
+
+	traceMu sync.Mutex
+	traces  map[traceKey]*traceEntry
+}
+
+// flight tracks one in-progress execution so duplicate requests wait for it
+// instead of re-running the spec.
+type flight struct {
+	done chan struct{}
+	st   *metrics.Stats
+	err  error
+}
+
+// traceKey identifies one thread's materialized trace. The workload name
+// determines the profile and seed (package workload constructs them
+// deterministically from it), so (name, thread, length) is a complete key.
+type traceKey struct {
+	workload string
+	thread   int
+	length   int
+}
+
+type traceEntry struct {
+	once sync.Once
+	uops []isa.Uop
 }
 
 // NewRunner returns a runner with the given per-thread trace length.
@@ -54,19 +91,43 @@ func NewRunner(traceLen int) *Runner {
 		TraceLen:  traceLen,
 		MaxCycles: int64(traceLen) * 40,
 		cache:     make(map[string]*metrics.Stats),
+		inflight:  make(map[string]*flight),
+		traces:    make(map[traceKey]*traceEntry),
 	}
 }
 
-// buildPrograms materializes the workload's traces (or a single thread's).
-func buildPrograms(w workload.Workload, traceLen, single int) []core.ThreadProgram {
+// traceFor returns thread i's materialized trace for w, generating it at
+// most once per (workload, thread, length) for the runner's lifetime. The
+// returned slice is shared; callers must treat it as immutable.
+func (r *Runner) traceFor(w workload.Workload, i int) []isa.Uop {
+	k := traceKey{workload: w.Name, thread: i, length: r.TraceLen}
+	r.traceMu.Lock()
+	if r.traces == nil {
+		r.traces = make(map[traceKey]*traceEntry)
+	}
+	e := r.traces[k]
+	if e == nil {
+		e = &traceEntry{}
+		r.traces[k] = e
+	}
+	r.traceMu.Unlock()
+	e.once.Do(func() {
+		g := trace.NewGenerator(w.Threads[i], w.Seeds[i])
+		e.uops = g.Generate(r.TraceLen)
+	})
+	return e.uops
+}
+
+// buildPrograms materializes the workload's traces (or a single thread's),
+// recalling memoized ones.
+func (r *Runner) buildPrograms(w workload.Workload, single int) []core.ThreadProgram {
 	var progs []core.ThreadProgram
 	for i, prof := range w.Threads {
 		if single >= 0 && i != single {
 			continue
 		}
-		g := trace.NewGenerator(prof, w.Seeds[i])
 		progs = append(progs, core.ThreadProgram{
-			Trace:   g.Generate(traceLen),
+			Trace:   r.traceFor(w, i),
 			Profile: prof,
 			Seed:    w.Seeds[i] ^ 0xabcdef,
 		})
@@ -87,33 +148,51 @@ func (r *Runner) execute(s Spec) (*metrics.Stats, error) {
 	cfg.ROBPerThread = s.ROBPerThread
 	cfg.MaxCycles = r.MaxCycles
 	cfg.WarmupUops = uint64(r.TraceLen / 5)
-	p, err := core.NewScheme(cfg, s.Scheme, buildPrograms(s.Workload, r.TraceLen, s.SingleThread))
+	p, err := core.NewScheme(cfg, s.Scheme, r.buildPrograms(s.Workload, s.SingleThread))
 	if err != nil {
 		return nil, err
 	}
 	return p.Run(), nil
 }
 
-// Run executes (or recalls) one spec.
+// Run executes (or recalls) one spec. Concurrent calls for the same spec
+// share a single execution.
 func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
 	k := s.key()
 	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*metrics.Stats)
+	}
+	if r.inflight == nil {
+		r.inflight = make(map[string]*flight)
+	}
 	if st, ok := r.cache[k]; ok {
 		r.mu.Unlock()
 		return st, nil
 	}
-	r.mu.Unlock()
-	st, err := r.execute(s)
-	if err != nil {
-		return nil, err
+	if f, ok := r.inflight[k]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.st, f.err
 	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[k] = f
+	r.mu.Unlock()
+
+	f.st, f.err = r.execute(s)
+
 	r.mu.Lock()
-	r.cache[k] = st
-	r.mu.Unlock()
-	if r.Verbose != nil {
-		r.Verbose(fmt.Sprintf("%-60s ipc=%.3f", k, st.IPC()))
+	if f.err == nil {
+		r.cache[k] = f.st
 	}
-	return st, nil
+	delete(r.inflight, k)
+	r.mu.Unlock()
+	close(f.done)
+
+	if f.err == nil && r.Verbose != nil {
+		r.Verbose(fmt.Sprintf("%-60s ipc=%.3f", k, f.st.IPC()))
+	}
+	return f.st, f.err
 }
 
 // RunAll executes specs on a worker pool and returns stats in spec order.

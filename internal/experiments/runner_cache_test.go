@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/workload"
+)
+
+// TestRunnerSingleflight pins the duplicate-execution fix: N goroutines
+// racing on a cold cache key must share one execution, observable both as
+// one Verbose completion and as every caller receiving the same *Stats.
+func TestRunnerSingleflight(t *testing.T) {
+	r := NewRunner(1500)
+	var executed int32
+	r.Verbose = func(string) { atomic.AddInt32(&executed, 1) }
+	w := workload.ByCategory("ispec00")[0]
+	spec := iqStudySpec(w, "icount", 32)
+
+	const racers = 16
+	results := make([]*metrics.Stats, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := r.Run(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = st
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("racer %d got a different Stats object: duplicate execution", i)
+		}
+	}
+	if executed != 1 {
+		t.Errorf("spec executed %d times under race, want 1", executed)
+	}
+}
+
+// TestRunnerTraceMemoized asserts trace sharing across specs: the same
+// workload thread must hand every run (SMT and single-thread alike) the
+// same materialized slice, and different lengths or threads must not
+// collide.
+func TestRunnerTraceMemoized(t *testing.T) {
+	r := NewRunner(1500)
+	w := workload.ByCategory("ispec00")[0]
+
+	a := r.traceFor(w, 0)
+	b := r.traceFor(w, 0)
+	if &a[0] != &b[0] {
+		t.Error("same (workload, thread, length) regenerated its trace")
+	}
+	c := r.traceFor(w, 1)
+	if &a[0] == &c[0] {
+		t.Error("distinct threads share one trace entry")
+	}
+
+	// The SMT run and the single-thread fairness baseline see one slice.
+	smt := r.buildPrograms(w, -1)
+	solo := r.buildPrograms(w, 1)
+	if &smt[1].Trace[0] != &solo[0].Trace[0] {
+		t.Error("single-thread run regenerated the SMT thread's trace")
+	}
+
+	r2 := NewRunner(2000)
+	d := r2.traceFor(w, 0)
+	if len(d) != 2000 || len(a) != 1500 {
+		t.Fatalf("trace lengths %d/%d, want 2000/1500", len(d), len(a))
+	}
+}
+
+// TestRunnerZeroValueUsable guards the lazy map initialization: a Runner
+// built as a struct literal (no NewRunner) must still memoize safely.
+func TestRunnerZeroValueUsable(t *testing.T) {
+	r := &Runner{TraceLen: 1200, MaxCycles: 1200 * 40}
+	w := workload.ByCategory("ispec00")[0]
+	spec := iqStudySpec(w, "icount", 32)
+	a, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("zero-value runner failed to memoize")
+	}
+}

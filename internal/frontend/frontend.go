@@ -40,6 +40,11 @@ type RAT struct {
 // Get returns the mapping of logical register r.
 func (r *RAT) Get(reg int16) RegMap { return r.maps[reg] }
 
+// GetRef returns a read-only pointer to the mapping of logical register r,
+// avoiding the 20-byte copy on the rename hot path. Callers must not mutate
+// through it; use Set/SetCluster/Define.
+func (r *RAT) GetRef(reg int16) *RegMap { return &r.maps[reg] }
+
 // Set replaces the mapping of logical register reg.
 func (r *RAT) Set(reg int16, m RegMap) { r.maps[reg] = m }
 
@@ -117,11 +122,20 @@ type ROBEntry struct {
 	NumSrc  int
 	SrcPhys [2]int32
 	SrcKind [2]isa.RegKind
+
+	// WaitCount is the number of source registers still pending under
+	// event-driven wakeup; the entry joins its issue queue's ready list
+	// when register-ready broadcasts drive it to zero.
+	WaitCount int8
+
+	// IQSlot is the issue-queue slot handle returned by Insert, enabling
+	// O(1) removal at issue and squash; -1 while not queued.
+	IQSlot int32
 }
 
 // Reset blanks e for reuse from a pool.
 func (e *ROBEntry) Reset() {
-	*e = ROBEntry{DstPhys: -1, CopySrcPhys: -1, TraceIdx: -1}
+	*e = ROBEntry{DstPhys: -1, CopySrcPhys: -1, TraceIdx: -1, IQSlot: -1}
 	e.SrcPhys[0], e.SrcPhys[1] = -1, -1
 }
 
@@ -240,7 +254,11 @@ func (q *FetchQueue) Push(u FetchedUop) bool {
 	if q.n >= len(q.buf) {
 		return false
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = u
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = u
 	q.n++
 	return true
 }
@@ -253,7 +271,10 @@ func (q *FetchQueue) Peek() *FetchedUop { return &q.buf[q.head] }
 // an empty queue.
 func (q *FetchQueue) Pop() FetchedUop {
 	u := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.n--
 	return u
 }
@@ -261,9 +282,14 @@ func (q *FetchQueue) Pop() FetchedUop {
 // Each calls fn on every queued uop in fetch order; it stops early when fn
 // returns false.
 func (q *FetchQueue) Each(fn func(u *FetchedUop) bool) {
-	for i := 0; i < q.n; i++ {
-		if !fn(&q.buf[(q.head+i)%len(q.buf)]) {
+	i := q.head
+	for k := 0; k < q.n; k++ {
+		if !fn(&q.buf[i]) {
 			return
+		}
+		i++
+		if i == len(q.buf) {
+			i = 0
 		}
 	}
 }

@@ -16,12 +16,18 @@ type Generator struct {
 	prof Profile
 	rng  *xrand.Rand
 
-	// weights for class selection, indexed by generated class order.
-	weights []float64
+	// weights for class selection, indexed by generated class order;
+	// weightSum is their fixed left-to-right float64 sum, precomputed so
+	// each class draw skips re-summing.
+	weights   []float64
+	weightSum float64
 
-	// recentProducers[k] is a ring of recently written logical registers of
-	// kind k, most recent first, used to realize dependency distances.
-	recent [isa.NumRegKinds][]int16
+	// recent[k] is a circular buffer of recently written logical registers
+	// of kind k, used to realize dependency distances. recentHead[k] is the
+	// index of the most recent producer, recentLen[k] the filled length.
+	recent     [isa.NumRegKinds][]int16
+	recentHead [isa.NumRegKinds]int
+	recentLen  [isa.NumRegKinds]int
 
 	// branch site state: each site behaves like a loop branch with a fixed
 	// period (dominant outcome period-1 times, then the exit outcome) plus
@@ -66,6 +72,9 @@ func NewGenerator(prof Profile, seed uint64) *Generator {
 			prof.MixLoad, prof.MixStore, prof.MixBranch,
 		},
 	}
+	for _, w := range g.weights {
+		g.weightSum += w
+	}
 	sm := seed ^ 0xc0dec0dec0dec0de
 	g.branchPCs = make([]uint64, prof.NumBranchSites)
 	g.branchPeriod = make([]int, prof.NumBranchSites)
@@ -93,7 +102,8 @@ func NewGenerator(prof Profile, seed uint64) *Generator {
 		g.codePCs[i] = 0x500000 + uint64(i)*4
 	}
 	for k := 0; k < isa.NumRegKinds; k++ {
-		g.recent[k] = make([]int16, 0, 16)
+		g.recent[k] = make([]int16, 16)
+		g.recentHead[k] = -1
 	}
 	g.nextStride = uint64(g.rng.Intn(int(prof.WorkingSet/64))) * 64
 	g.lastColdDest = -1
@@ -104,33 +114,38 @@ func NewGenerator(prof Profile, seed uint64) *Generator {
 func (g *Generator) Profile() Profile { return g.prof }
 
 // noteProducer records that logical register r (of kind k) was just written.
+// The ring advances in place: no per-uop shifting.
 func (g *Generator) noteProducer(k isa.RegKind, r int16) {
 	ring := g.recent[k]
-	// most-recent-first, bounded length
-	if len(ring) == cap(ring) {
-		copy(ring[1:], ring[:len(ring)-1])
-		ring[0] = r
-	} else {
-		ring = append(ring, 0)
-		copy(ring[1:], ring[:len(ring)-1])
-		ring[0] = r
+	h := g.recentHead[k] + 1
+	if h == len(ring) {
+		h = 0
 	}
-	g.recent[k] = ring
+	ring[h] = r
+	g.recentHead[k] = h
+	if g.recentLen[k] < len(ring) {
+		g.recentLen[k]++
+	}
 }
 
 // pickSource selects a source register of kind k at the profile's dependency
 // distance. If no producer has been seen yet it returns an arbitrary
 // register of that kind (architecturally live-in value).
 func (g *Generator) pickSource(k isa.RegKind) int16 {
-	ring := g.recent[k]
-	if len(ring) == 0 {
+	n := g.recentLen[k]
+	if n == 0 {
 		return isa.FirstReg(k) + int16(g.rng.Intn(isa.RegCount(k)))
 	}
 	d := g.rng.Geometric(g.prof.DepP)
-	if d >= len(ring) {
-		d = len(ring) - 1
+	if d >= n {
+		d = n - 1
 	}
-	return ring[d]
+	ring := g.recent[k]
+	i := g.recentHead[k] - d
+	if i < 0 {
+		i += len(ring)
+	}
+	return ring[i]
 }
 
 // pickDest allocates the next destination register of kind k in rotation.
@@ -184,7 +199,7 @@ func (g *Generator) nextPC() uint64 {
 
 // Next generates the next uop in the stream.
 func (g *Generator) Next() isa.Uop {
-	c := genClasses[g.rng.Pick(g.weights)]
+	c := genClasses[g.rng.PickTotal(g.weights, g.weightSum)]
 	var u isa.Uop
 	u.Class = c
 	u.Src1, u.Src2, u.Dst = isa.RegNone, isa.RegNone, isa.RegNone

@@ -8,6 +8,8 @@
 // xoshiro256** (for streams), both with published reference outputs.
 package xrand
 
+import "math/bits"
+
 // SplitMix64 advances the splitmix64 state in *s and returns the next value.
 // It is used to derive independent stream seeds from a single user seed.
 func SplitMix64(s *uint64) uint64 {
@@ -66,22 +68,11 @@ func (r *Rand) Intn(n int) int {
 	bound := uint64(n)
 	for {
 		v := r.Uint64()
-		hi, lo := mul64(v, bound)
+		hi, lo := bits.Mul64(v, bound)
 		if lo >= bound || lo >= (-bound)%bound {
 			return int(hi)
 		}
 	}
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 1<<32 - 1
-	a0, a1 := a&mask, a>>32
-	b0, b1 := b&mask, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	lo = a * b
-	hi = a1*b1 + t>>32 + (t&mask+a0*b1)>>32
-	return hi, lo
 }
 
 // Float64 returns a uniform float64 in [0, 1).
@@ -123,6 +114,13 @@ func (r *Rand) Pick(weights []float64) int {
 	for _, w := range weights {
 		total += w
 	}
+	return r.PickTotal(weights, total)
+}
+
+// PickTotal is Pick with the weight sum precomputed by the caller — the
+// same draw arithmetic without re-summing fixed weights on every call.
+// total must equal the left-to-right float64 sum of weights.
+func (r *Rand) PickTotal(weights []float64, total float64) int {
 	if total <= 0 {
 		panic("xrand: Pick with non-positive total weight")
 	}

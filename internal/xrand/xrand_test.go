@@ -168,25 +168,18 @@ func TestPickPanicsOnBadWeights(t *testing.T) {
 	r.Pick([]float64{0, 0})
 }
 
-// Property: mul64 agrees with big-integer multiplication on the low bits
-// and hi<<64|lo is consistent (checked via modular identity).
-func TestMul64Property(t *testing.T) {
-	f := func(a, b uint64) bool {
-		hi, lo := mul64(a, b)
-		if lo != a*b {
-			return false
+// Property: Intn reduction built on bits.Mul64 keeps every draw in range
+// (the Lemire rejection loop depends on the full 128-bit product).
+func TestIntnRangeProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if v := r.Intn(bound); v < 0 || v >= bound {
+				return false
+			}
 		}
-		// (a*b) mod 2^64 + hi*2^64 == full product: check via mod 2^32 folds.
-		const m = 1<<32 - 1
-		a0, a1 := a&m, a>>32
-		b0, b1 := b&m, b>>32
-		full := a1*b1 + (a1*b0+a0*b1+(a0*b0)>>32)>>32
-		// full computed without carries of mid terms may differ; recompute carefully:
-		mid := a1*b0 + (a0*b0)>>32
-		carry := mid >> 32
-		mid2 := mid&m + a0*b1
-		full = a1*b1 + carry + mid2>>32
-		return hi == full
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
