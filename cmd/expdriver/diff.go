@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"clustersmt/internal/campaign"
+	"clustersmt/internal/report"
+)
+
+// runDiff implements `expdriver diff [-tol T] [-numbers-only] A.json B.json`.
+//
+// When both files are campaign result sets, results are matched by label
+// and reported as per-spec IPC deltas (the branch-vs-main view); otherwise
+// the documents are compared structurally with the numeric tolerance (the
+// CI figure-regression gate). Exit status 1 means the difference exceeded
+// the tolerance somewhere.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.02, "relative tolerance on numeric values (and on campaign IPC deltas)")
+	numbersOnly := fs.Bool("numbers-only", false, "ignore non-numeric leaf mismatches in the structural comparison")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: expdriver diff [-tol T] [-numbers-only] old.json new.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	a, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	b, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if ra, ok := campaign.ParseResultSet(a); ok {
+		if rb, ok := campaign.ParseResultSet(b); ok {
+			return diffResultSets(ra, rb, *tol)
+		}
+	}
+
+	mismatches, err := campaign.CompareJSON(a, b, *tol, *numbersOnly)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(mismatches) == 0 {
+		fmt.Printf("documents match within %.2f%% tolerance\n", 100**tol)
+		return 0
+	}
+	for _, m := range mismatches {
+		fmt.Println(m)
+	}
+	fmt.Fprintf(os.Stderr, "%d value(s) outside the %.2f%% tolerance\n", len(mismatches), 100**tol)
+	return 1
+}
+
+func diffResultSets(ra, rb *campaign.ResultSet, tol float64) int {
+	rep := campaign.Diff(ra, rb)
+	var rows [][]string
+	for _, row := range rep.Rows {
+		delta := "-"
+		switch {
+		case row.OnlyIn == "a":
+			delta = "only in " + ra.Campaign
+		case row.OnlyIn == "b":
+			delta = "only in " + rb.Campaign
+		case !math.IsNaN(row.Delta):
+			delta = fmt.Sprintf("%+.2f%%", 100*row.Delta)
+		}
+		rows = append(rows, []string{row.Label, report.F(row.IPCA), report.F(row.IPCB), delta})
+	}
+	fmt.Println(report.Table(
+		fmt.Sprintf("Campaign diff: %s -> %s (mean IPC delta %+.2f%%)", ra.Campaign, rb.Campaign, 100*rep.MeanDelta),
+		[]string{"spec", "ipc A", "ipc B", "delta"}, rows))
+	if bad := rep.Exceeds(tol); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "%d spec(s) moved more than %.2f%% (or are unmatched)\n", len(bad), 100*tol)
+		return 1
+	}
+	return 0
+}

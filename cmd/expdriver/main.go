@@ -1,12 +1,21 @@
 // Command expdriver regenerates the paper's tables and figures (see
-// DESIGN.md §4 for the experiment index). Each figure prints as a text
-// table whose rows/series mirror the paper's plot.
+// DESIGN.md §4 for the experiment index) and runs declarative experiment
+// campaigns. Each figure prints as a text table whose rows/series mirror
+// the paper's plot; -json additionally emits the machine-readable form the
+// CI figure-regression gate consumes.
 //
 // Usage:
 //
 //	expdriver -exp fig2                 # one figure
 //	expdriver -exp all -quick           # everything on a reduced pool
 //	expdriver -exp headline -len 100000 # the 17.6%/24% claim
+//	expdriver -exp headline -quick -json headline.json
+//
+//	expdriver -manifest examples/campaign/iqsweep.json   # declarative sweep
+//	expdriver -manifest m.json -dry-run                  # expanded spec set only
+//	expdriver -manifest m.json -store .campaign          # persistent result store
+//
+//	expdriver diff -tol 0.02 old.json new.json           # compare result JSONs
 package main
 
 import (
@@ -25,6 +34,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	var (
 		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig9|fig10|headline|future|all")
 		traceLen   = flag.Int("len", 60000, "trace length per thread (uops)")
@@ -32,6 +44,12 @@ func main() {
 		cats       = flag.String("categories", "", "comma-separated category subset (default: all)")
 		verbose    = flag.Bool("v", false, "log every simulation")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		manifest   = flag.String("manifest", "", "campaign manifest JSON: run a declarative sweep instead of the figure set")
+		storeDir   = flag.String("store", ".campaign", "campaign result store directory (empty disables persistence)")
+		dryRun     = flag.Bool("dry-run", false, "with -manifest: print the expanded spec set and estimated simulation count, run nothing")
+		resume     = flag.Bool("resume", true, "with -manifest: reuse results already in the store (=false re-executes and overwrites)")
+		jsonOut    = flag.String("json", "", "write machine-readable results (figure map or campaign result set) to this file")
+		csvOut     = flag.String("csv", "", "with -manifest: write the campaign result rows as CSV to this file")
 	)
 	flag.Parse()
 
@@ -48,6 +66,28 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *manifest != "" {
+		// The figure-mode selectors do not apply to campaigns; warn rather
+		// than silently ignore an explicitly set flag.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "exp", "len", "quick", "categories":
+				fmt.Fprintf(os.Stderr, "warning: -%s is ignored with -manifest (the manifest defines the sweep)\n", f.Name)
+			}
+		})
+		code := runCampaign(campaignOpts{
+			manifest: *manifest,
+			storeDir: *storeDir,
+			dryRun:   *dryRun,
+			resume:   *resume,
+			jsonOut:  *jsonOut,
+			csvOut:   *csvOut,
+			verbose:  *verbose,
+		})
+		pprof.StopCPUProfile() // flush before the deferless exit
+		os.Exit(code)
+	}
+
 	r := experiments.NewRunner(*traceLen)
 	if *verbose {
 		r.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
@@ -61,26 +101,35 @@ func main() {
 	}
 
 	start := time.Now()
-	run := func(name string, fn func() error) {
+	emitted := map[string]any{}
+	run := func(name string, fn func() (any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := fn(); err != nil {
+		v, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			pprof.StopCPUProfile() // flush before the deferless exit
 			os.Exit(1)
 		}
+		emitted[name] = v
 	}
 
-	run("fig2", func() error { return fig2(r, o) })
-	run("fig3", func() error { return figMetric(r, o, 3) })
-	run("fig4", func() error { return figMetric(r, o, 4) })
-	run("fig5", func() error { return fig5(r, o) })
-	run("fig6", func() error { return fig6(r, o) })
-	run("fig9", func() error { return fig9(r, o) })
-	run("fig10", func() error { return fig10(r, o) })
-	run("headline", func() error { return headline(r, o) })
-	run("future", func() error { return future(r, o) })
+	run("fig2", func() (any, error) { return fig2(r, o) })
+	run("fig3", func() (any, error) { return figMetric(r, o, 3) })
+	run("fig4", func() (any, error) { return figMetric(r, o, 4) })
+	run("fig5", func() (any, error) { return fig5(r, o) })
+	run("fig6", func() (any, error) { return fig6(r, o) })
+	run("fig9", func() (any, error) { return fig9(r, o) })
+	run("fig10", func() (any, error) { return fig10(r, o) })
+	run("headline", func() (any, error) { return headline(r, o) })
+	run("future", func() (any, error) { return future(r, o) })
+	if *jsonOut != "" {
+		if err := report.WriteJSONFile(*jsonOut, emitted); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
 }
 
@@ -97,11 +146,11 @@ func seriesTable(title string, cs *experiments.CategorySeries, seriesOrder []str
 	fmt.Println(report.Table(title, header, rows))
 }
 
-func fig2(r *experiments.Runner, o experiments.Options) error {
+func fig2(r *experiments.Runner, o experiments.Options) (any, error) {
 	schemes := policy.PaperIQSchemes()
 	cs, err := experiments.Fig2(r, o, schemes, []int{32, 64})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var order []string
 	for _, iq := range []int{32, 64} {
@@ -110,10 +159,10 @@ func fig2(r *experiments.Runner, o experiments.Options) error {
 		}
 	}
 	seriesTable("Figure 2: throughput speedup vs Icount@32 (RF/ROB unbounded)", cs, order)
-	return nil
+	return cs, nil
 }
 
-func figMetric(r *experiments.Runner, o experiments.Options, fig int) error {
+func figMetric(r *experiments.Runner, o experiments.Options, fig int) (any, error) {
 	schemes := policy.PaperIQSchemes()
 	var cs *experiments.CategorySeries
 	var err error
@@ -126,17 +175,17 @@ func figMetric(r *experiments.Runner, o experiments.Options, fig int) error {
 		title = "Figure 4: issue-queue stalls per retired instruction (IQ=32)"
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	seriesTable(title, cs, schemes)
-	return nil
+	return cs, nil
 }
 
-func fig5(r *experiments.Runner, o experiments.Options) error {
+func fig5(r *experiments.Runner, o experiments.Options) (any, error) {
 	schemes := []string{"icount", "cisp", "cssp", "pc"}
 	res, err := experiments.Fig5(r, o, schemes)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	header := []string{"category", "scheme"}
 	for k := 0; k < metrics.NumImbClasses; k++ {
@@ -158,14 +207,14 @@ func fig5(r *experiments.Runner, o experiments.Options) error {
 		}
 	}
 	fmt.Println(report.Table("Figure 5: workload imbalance (fraction of issuing cycles; kind 1 = other cluster had a free port)", header, rows))
-	return nil
+	return res, nil
 }
 
-func fig6(r *experiments.Runner, o experiments.Options) error {
+func fig6(r *experiments.Runner, o experiments.Options) (any, error) {
 	schemes := policy.PaperRFSchemes()
 	cs, err := experiments.Fig6(r, o, schemes, []int{64, 128})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var order []string
 	for _, rg := range []int{64, 128} {
@@ -174,14 +223,14 @@ func fig6(r *experiments.Runner, o experiments.Options) error {
 		}
 	}
 	seriesTable("Figure 6: throughput speedup vs Icount@64regs (IQ=32, ROB=128)", cs, order)
-	return nil
+	return cs, nil
 }
 
-func fig9(r *experiments.Runner, o experiments.Options) error {
+func fig9(r *experiments.Runner, o experiments.Options) (any, error) {
 	schemes := []string{"cssp", "cssprf", "cisprf", "cdprf"}
 	res, err := experiments.Fig9(r, o, schemes)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	header := append([]string{"workload"}, schemes...)
 	var rows [][]string
@@ -193,23 +242,23 @@ func fig9(r *experiments.Runner, o experiments.Options) error {
 		rows = append(rows, row)
 	}
 	fmt.Println(report.Table("Figure 9: ISPEC-FSPEC speedups vs Icount (64 regs/cluster)", header, rows))
-	return nil
+	return res, nil
 }
 
-func fig10(r *experiments.Runner, o experiments.Options) error {
+func fig10(r *experiments.Runner, o experiments.Options) (any, error) {
 	schemes := []string{"stall", "flush+", "cssp", "cdprf"}
 	cs, err := experiments.Fig10(r, o, schemes)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	seriesTable("Figure 10: fairness relative to Icount (64 regs/cluster)", cs, schemes)
-	return nil
+	return cs, nil
 }
 
-func headline(r *experiments.Runner, o experiments.Options) error {
+func headline(r *experiments.Runner, o experiments.Options) (any, error) {
 	h, err := experiments.Headline(r, o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(report.Table("Headline (paper: CDPRF +17.6% throughput, +24% fairness, up to +40% per category)",
 		[]string{"metric", "value"},
@@ -219,13 +268,13 @@ func headline(r *experiments.Runner, o experiments.Options) error {
 			{"CDPRF fairness vs Icount", report.Pct(h.FairnessRatio)},
 			{"best category", fmt.Sprintf("%s %s", h.BestCategory, report.Pct(h.BestCategorySpeedup))},
 		}))
-	return nil
+	return h, nil
 }
 
-func future(r *experiments.Runner, o experiments.Options) error {
+func future(r *experiments.Runner, o experiments.Options) (any, error) {
 	out, err := experiments.FutureWork(r, o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var names []string
 	for s := range out {
@@ -238,5 +287,5 @@ func future(r *experiments.Runner, o experiments.Options) error {
 	}
 	fmt.Println(report.Table("Future work (§6): cluster-aware DCRA and hill-climbing vs CDPRF (speedup vs Icount)",
 		[]string{"scheme", "speedup"}, rows))
-	return nil
+	return out, nil
 }

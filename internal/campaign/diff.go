@@ -1,0 +1,195 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ParseResultSet decodes b as a campaign ResultSet. ok is false when the
+// document is JSON but not a result set (Diff callers then fall back to
+// the generic comparison).
+func ParseResultSet(b []byte) (*ResultSet, bool) {
+	rs := &ResultSet{}
+	if err := json.Unmarshal(b, rs); err != nil {
+		return nil, false
+	}
+	if rs.Campaign == "" || len(rs.Results) == 0 {
+		return nil, false
+	}
+	return rs, true
+}
+
+// DiffRow compares one label present in either result set.
+type DiffRow struct {
+	Label string  `json:"label"`
+	IPCA  float64 `json:"ipc_a"`
+	IPCB  float64 `json:"ipc_b"`
+	// Delta is the relative IPC change (b/a - 1); NaN when only one side
+	// has the label or a side failed.
+	Delta float64 `json:"delta"`
+	// OnlyIn is "a" or "b" for unmatched labels, empty otherwise.
+	OnlyIn string `json:"only_in,omitempty"`
+}
+
+// DiffReport is the label-matched comparison of two campaigns — the
+// branch-vs-main IPC delta view.
+type DiffReport struct {
+	CampaignA string    `json:"campaign_a"`
+	CampaignB string    `json:"campaign_b"`
+	Rows      []DiffRow `json:"rows"`
+	MeanDelta float64   `json:"mean_delta"`
+}
+
+// Diff matches two result sets by label and reports per-spec IPC deltas.
+// Rows follow a's result order, with b-only labels appended (sorted).
+func Diff(a, b *ResultSet) *DiffReport {
+	rep := &DiffReport{CampaignA: a.Campaign, CampaignB: b.Campaign}
+	byLabel := map[string]*Result{}
+	for i := range b.Results {
+		byLabel[b.Results[i].Label] = &b.Results[i]
+	}
+	seen := map[string]bool{}
+	var deltas []float64
+	for i := range a.Results {
+		ra := &a.Results[i]
+		seen[ra.Label] = true
+		row := DiffRow{Label: ra.Label, IPCA: ra.IPC, Delta: math.NaN()}
+		if rb, ok := byLabel[ra.Label]; ok {
+			row.IPCB = rb.IPC
+			if ra.Error == "" && rb.Error == "" && ra.IPC > 0 {
+				row.Delta = rb.IPC/ra.IPC - 1
+				deltas = append(deltas, row.Delta)
+			}
+		} else {
+			row.OnlyIn = "a"
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	var extra []string
+	for label := range byLabel {
+		if !seen[label] {
+			extra = append(extra, label)
+		}
+	}
+	sort.Strings(extra)
+	for _, label := range extra {
+		rep.Rows = append(rep.Rows, DiffRow{
+			Label: label, IPCB: byLabel[label].IPC, Delta: math.NaN(), OnlyIn: "b",
+		})
+	}
+	if len(deltas) > 0 {
+		total := 0.0
+		for _, d := range deltas {
+			total += d
+		}
+		rep.MeanDelta = total / float64(len(deltas))
+	}
+	return rep
+}
+
+// Exceeds lists the rows whose |delta| exceeds tol, plus every unmatched
+// label — the regression gate behind `expdriver diff`.
+func (r *DiffReport) Exceeds(tol float64) []DiffRow {
+	var out []DiffRow
+	for _, row := range r.Rows {
+		if row.OnlyIn != "" || math.IsNaN(row.Delta) || math.Abs(row.Delta) > tol {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// CompareJSON structurally compares two JSON documents, tolerating
+// relative numeric drift up to tol (with a small absolute floor so values
+// near zero do not amplify). With numbersOnly set, non-numeric leaf
+// mismatches are ignored — the CI figure gate uses this so a label string
+// flipping between platforms cannot mask or fake an IPC regression.
+// It returns one human-readable line per mismatch, empty on a match.
+func CompareJSON(a, b []byte, tol float64, numbersOnly bool) ([]string, error) {
+	var va, vb any
+	if err := json.Unmarshal(a, &va); err != nil {
+		return nil, fmt.Errorf("first document: %w", err)
+	}
+	if err := json.Unmarshal(b, &vb); err != nil {
+		return nil, fmt.Errorf("second document: %w", err)
+	}
+	var out []string
+	compareValues("$", va, vb, tol, numbersOnly, &out)
+	return out, nil
+}
+
+func compareValues(path string, a, b any, tol float64, numbersOnly bool, out *[]string) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: object vs %T", path, b))
+			return
+		}
+		keys := map[string]bool{}
+		for k := range av {
+			keys[k] = true
+		}
+		for k := range bv {
+			keys[k] = true
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			ak, aok := av[k]
+			bk, bok := bv[k]
+			p := path + "." + k
+			switch {
+			case !aok:
+				*out = append(*out, fmt.Sprintf("%s: only in second document", p))
+			case !bok:
+				*out = append(*out, fmt.Sprintf("%s: only in first document", p))
+			default:
+				compareValues(p, ak, bk, tol, numbersOnly, out)
+			}
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: array vs %T", path, b))
+			return
+		}
+		if len(av) != len(bv) {
+			*out = append(*out, fmt.Sprintf("%s: array length %d vs %d", path, len(av), len(bv)))
+			return
+		}
+		for i := range av {
+			compareValues(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i], tol, numbersOnly, out)
+		}
+	case float64:
+		bv, ok := b.(float64)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: number vs %T", path, b))
+			return
+		}
+		diff := math.Abs(av - bv)
+		scale := math.Max(math.Abs(av), math.Abs(bv))
+		if diff > 1e-9 && diff > tol*scale {
+			*out = append(*out, fmt.Sprintf("%s: %g vs %g (%.2f%% off, tolerance %.2f%%)",
+				path, av, bv, 100*diff/math.Max(scale, 1e-300), 100*tol))
+		}
+	default:
+		if numbersOnly {
+			// Stay symmetric: a numeric leaf replacing a non-numeric one
+			// (either direction) is still a numeric change worth failing on;
+			// only mismatches with no number on either side are ignored.
+			if _, ok := b.(float64); ok {
+				*out = append(*out, fmt.Sprintf("%s: %v vs number %v", path, a, b))
+			}
+			return
+		}
+		if a != b {
+			*out = append(*out, fmt.Sprintf("%s: %v vs %v", path, a, b))
+		}
+	}
+}

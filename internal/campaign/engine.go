@@ -1,0 +1,271 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"clustersmt/internal/core"
+	"clustersmt/internal/experiments"
+	"clustersmt/internal/metrics"
+)
+
+// Engine executes expanded campaigns on experiments runners, one per trace
+// length, all sharing one persistent store layer.
+type Engine struct {
+	// Store is the persistent result layer (typically *store.Store). Nil
+	// runs the campaign memory-only.
+	Store experiments.ResultStore
+	// Resume (the default in expdriver) reuses results already in Store;
+	// when false, existing entries are ignored and overwritten, forcing
+	// every simulation to re-execute.
+	Resume bool
+	// Workers bounds simulation parallelism (0 = NumCPU).
+	Workers int
+	// Verbose, when set, receives one line per completed simulation.
+	Verbose func(string)
+}
+
+// Result is one item's outcome, machine-readable for the JSON/CSV emitters
+// and for Diff.
+type Result struct {
+	Label        string    `json:"label"`
+	Workload     string    `json:"workload"`
+	Scheme       string    `json:"scheme"`
+	IQSize       int       `json:"iq_size"`
+	RegsPerClust int       `json:"regs_per_cluster"`
+	ROBPerThread int       `json:"rob_per_thread"`
+	TraceLen     int       `json:"trace_len"`
+	Rep          int       `json:"rep"`
+	SingleThread int       `json:"single_thread"`
+	Key          string    `json:"key"`
+	Cached       bool      `json:"cached"`
+	IPC          float64   `json:"ipc"`
+	CopiesPerRet float64   `json:"copies_per_retired"`
+	IQStallsRet  float64   `json:"iq_stalls_per_retired"`
+	ThreadIPC    []float64 `json:"thread_ipc,omitempty"`
+	Fairness     float64   `json:"fairness,omitempty"`
+	Error        string    `json:"error,omitempty"`
+}
+
+// ResultSet is a completed campaign: every expanded item in expansion
+// order, plus the execution tally. It is the diffable artifact campaigns
+// exchange across branches.
+type ResultSet struct {
+	Campaign  string   `json:"campaign"`
+	Version   string   `json:"version"`
+	Total     int      `json:"total"`
+	Executed  int      `json:"executed"`
+	StoreHits int      `json:"store_hits"`
+	Failed    int      `json:"failed"`
+	Results   []Result `json:"results"`
+}
+
+// putSet tracks which keys the runners Put during this campaign. The
+// runner Puts exactly the results it executed (backfills happen inside
+// Layered, below the recording wrapper), so the set identifies fresh
+// executions; everything else a store answered for.
+type putSet struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func newPutSet() *putSet { return &putSet{m: make(map[string]bool)} }
+
+func (p *putSet) add(key string) {
+	p.mu.Lock()
+	p.m[key] = true
+	p.mu.Unlock()
+}
+
+func (p *putSet) has(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.m[key]
+}
+
+// recordingStore wraps a runner's store, recording every Put into the
+// campaign-wide putSet.
+type recordingStore struct {
+	inner experiments.ResultStore
+	set   *putSet
+}
+
+func (r *recordingStore) Get(key string) (*metrics.Stats, bool, error) {
+	return r.inner.Get(key)
+}
+
+func (r *recordingStore) Put(key string, st *metrics.Stats) error {
+	r.set.add(key)
+	return r.inner.Put(key, st)
+}
+
+// baselinePoint identifies one single-thread baseline coordinate.
+type baselinePoint struct {
+	base                 string
+	rep, tl, iq, rf, rob int
+	thread               int
+}
+
+// Run expands m and executes every item, recalling whatever the store
+// already holds. Simulation failures do not abort the campaign: failed
+// items carry their error and the set reports the partial tally, so an
+// interrupted or partly broken campaign still lands its completed results
+// (and a later -resume run executes only what is missing).
+func (e *Engine) Run(m *Manifest) (*ResultSet, error) {
+	items, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{
+		Campaign: m.Name,
+		Version:  core.SimVersion,
+		Total:    len(items),
+		Results:  make([]Result, len(items)),
+	}
+
+	// One runner per trace length; all share the persistent layer through
+	// one recording wrapper so Cached attribution spans the whole campaign.
+	persist := e.Store
+	if persist != nil && !e.Resume {
+		persist = experiments.WriteOnly(persist)
+	}
+	byLen := map[int][]int{}
+	for i, it := range items {
+		byLen[it.TraceLen] = append(byLen[it.TraceLen], i)
+	}
+	lens := make([]int, 0, len(byLen))
+	for tl := range byLen {
+		lens = append(lens, tl)
+	}
+	sort.Ints(lens)
+
+	executed := newPutSet()
+	runners := map[int]*experiments.Runner{}
+	for _, tl := range lens {
+		r := experiments.NewRunner(tl)
+		r.Workers = e.Workers
+		r.Verbose = e.Verbose
+		layers := []experiments.ResultStore{experiments.NewMemStore()}
+		if persist != nil {
+			layers = append(layers, persist)
+		}
+		r.Store = &recordingStore{inner: experiments.Layered(layers...), set: executed}
+		runners[tl] = r
+	}
+
+	for _, tl := range lens {
+		idxs := byLen[tl]
+		r := runners[tl]
+		specs := make([]experiments.Spec, len(idxs))
+		for j, i := range idxs {
+			specs[j] = items[i].Spec
+		}
+		stats, err := r.RunAll(specs)
+		_ = err // per-item errors are re-derived below; the set reports Failed
+		for j, i := range idxs {
+			it := items[i]
+			res := Result{
+				Label:        it.Label(),
+				Workload:     it.Base,
+				Scheme:       it.Spec.Scheme,
+				IQSize:       it.Spec.IQSize,
+				RegsPerClust: it.Spec.RegsPerClust,
+				ROBPerThread: it.Spec.ROBPerThread,
+				TraceLen:     it.TraceLen,
+				Rep:          it.Rep,
+				SingleThread: it.Spec.SingleThread,
+				Key:          r.CacheKey(it.Spec),
+			}
+			if st := stats[j]; st != nil {
+				res.Cached = !executed.has(res.Key)
+				res.IPC = st.IPC()
+				res.CopiesPerRet = st.CopiesPerRetired()
+				res.IQStallsRet = st.IQStallsPerRetired()
+				if it.Spec.SingleThread < 0 {
+					for t := range it.Spec.Workload.Threads {
+						res.ThreadIPC = append(res.ThreadIPC, st.ThreadIPC(t))
+					}
+				}
+			} else {
+				// All runner errors are instant construction failures
+				// (p.Run itself cannot fail), so re-asking is cheap and
+				// yields the item-specific message.
+				if _, runErr := r.Run(it.Spec); runErr != nil {
+					res.Error = runErr.Error()
+				} else {
+					res.Error = "simulation failed"
+				}
+			}
+			rs.Results[i] = res
+		}
+	}
+
+	if m.SingleThreadBaselines {
+		e.fillFairness(items, rs)
+	}
+
+	for i := range rs.Results {
+		switch {
+		case rs.Results[i].Error != "":
+			rs.Failed++
+		case rs.Results[i].Cached:
+			rs.StoreHits++
+		default:
+			rs.Executed++
+		}
+	}
+	return rs, nil
+}
+
+// fillFairness computes the §4 fairness metric for every SMT result whose
+// per-thread Icount baselines all completed at the same axis point.
+func (e *Engine) fillFairness(items []Item, rs *ResultSet) {
+	single := map[baselinePoint]float64{}
+	for i, it := range items {
+		if it.Spec.SingleThread >= 0 && rs.Results[i].Error == "" {
+			single[baselinePoint{
+				base: it.Base, rep: it.Rep, tl: it.TraceLen,
+				iq: it.Spec.IQSize, rf: it.Spec.RegsPerClust, rob: it.Spec.ROBPerThread,
+				thread: it.Spec.SingleThread,
+			}] = rs.Results[i].IPC
+		}
+	}
+	for i, it := range items {
+		if it.Spec.SingleThread >= 0 || rs.Results[i].Error != "" {
+			continue
+		}
+		n := len(it.Spec.Workload.Threads)
+		if len(rs.Results[i].ThreadIPC) != n {
+			continue
+		}
+		singles := make([]float64, 0, n)
+		for t := 0; t < n; t++ {
+			ipc, ok := single[baselinePoint{
+				base: it.Base, rep: it.Rep, tl: it.TraceLen,
+				iq: it.Spec.IQSize, rf: it.Spec.RegsPerClust, rob: it.Spec.ROBPerThread,
+				thread: t,
+			}]
+			if !ok {
+				break
+			}
+			singles = append(singles, ipc)
+		}
+		if len(singles) == n {
+			rs.Results[i].Fairness = metrics.Fairness(singles, rs.Results[i].ThreadIPC)
+		}
+	}
+}
+
+// Err aggregates the set's per-item failures into one error (nil when the
+// campaign fully succeeded).
+func (rs *ResultSet) Err() error {
+	var errs []error
+	for _, r := range rs.Results {
+		if r.Error != "" {
+			errs = append(errs, fmt.Errorf("%s: %s", r.Label, r.Error))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,285 @@
+// Package campaign turns declarative sweep manifests into validated
+// simulation campaigns over experiments.Runner, with persistent
+// content-addressed results (internal/campaign/store), resumable execution
+// and cross-campaign diffing. It is the scale layer the figure harness
+// lacks: a new scenario is a JSON file, not bespoke figure code.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clustersmt/internal/experiments"
+	"clustersmt/internal/policy"
+	"clustersmt/internal/workload"
+)
+
+// Default axis values: one point per axis, matching the §5.1 issue-queue
+// study machine (32-entry IQs, unbounded RF/ROB) at a campaign-friendly
+// trace length.
+const (
+	defaultIQSize   = 32
+	defaultTraceLen = 20000
+)
+
+// Manifest declares a campaign: which workloads, which schemes, and the
+// machine axes to sweep. The cross product of all axes, times repetitions,
+// expands into the spec set (Expand).
+//
+// Axis semantics: a missing (null) axis takes the single-point default; a
+// present-but-empty axis is a validation error (an empty cross product is
+// never what anyone meant).
+type Manifest struct {
+	// Name identifies the campaign (defaults to the manifest filename).
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+
+	// Categories restricts the workload pool to the named Table 2
+	// categories (null = all 11). Ignored when Workloads is set.
+	Categories []string `json:"categories,omitempty"`
+	// Workloads names explicit pool workloads, overriding Categories.
+	Workloads []string `json:"workloads,omitempty"`
+	// MaxPerCategory caps workloads per category, type-balanced like the
+	// figure harness's quick mode (0 = no cap).
+	MaxPerCategory int `json:"max_per_category,omitempty"`
+
+	// Schemes lists the resource-assignment schemes to run (required).
+	Schemes []string `json:"schemes"`
+
+	// IQSizes sweeps the per-cluster issue-queue capacity (default [32]).
+	IQSizes []int `json:"iq_sizes,omitempty"`
+	// RegsPerCluster sweeps per-kind physical registers per cluster;
+	// 0 = unbounded (default [0]).
+	RegsPerCluster []int `json:"regs_per_cluster,omitempty"`
+	// ROBPerThread sweeps the per-thread ROB section; 0 = unbounded
+	// (default [0]).
+	ROBPerThread []int `json:"rob_per_thread,omitempty"`
+	// TraceLens sweeps the per-thread trace length in uops
+	// (default [20000]).
+	TraceLens []int `json:"trace_lens,omitempty"`
+
+	// Repetitions re-runs every point with per-repetition seed offsets
+	// (rep 0 is the canonical pool seeding; default 1).
+	Repetitions int `json:"repetitions,omitempty"`
+
+	// SingleThreadBaselines adds a stand-alone Icount run per workload
+	// thread at every axis point, enabling the §4 fairness metric on the
+	// campaign's SMT results.
+	SingleThreadBaselines bool `json:"single_thread_baselines,omitempty"`
+}
+
+// Load reads and validates a manifest file. Unknown fields are errors —
+// a typoed axis name must not silently collapse a sweep to its default.
+func Load(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	m, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", path, err)
+	}
+	if m.Name == "" {
+		m.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return m, nil
+}
+
+// Parse decodes and validates a manifest from JSON bytes.
+func Parse(b []byte) (*Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	m := &Manifest{}
+	if err := dec.Decode(m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Validate checks the manifest against the scheme registry, the workload
+// pool and the axis rules (see Manifest).
+func (m *Manifest) Validate() error {
+	if len(m.Schemes) == 0 {
+		return fmt.Errorf("manifest: no schemes (list at least one of %v)", policy.Names())
+	}
+	for _, s := range m.Schemes {
+		if _, err := policy.Lookup(s); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+	}
+	known := map[string]bool{}
+	for _, c := range workload.Categories {
+		known[c] = true
+	}
+	for _, c := range m.Categories {
+		if !known[c] {
+			return fmt.Errorf("manifest: unknown category %q (known: %v)", c, workload.Categories)
+		}
+	}
+	for _, w := range m.Workloads {
+		if _, err := workload.Find(w); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+	}
+	axes := []struct {
+		name   string
+		vals   []int
+		minVal int
+	}{
+		{"iq_sizes", m.IQSizes, 4},
+		{"regs_per_cluster", m.RegsPerCluster, 0},
+		{"rob_per_thread", m.ROBPerThread, 0},
+		{"trace_lens", m.TraceLens, 1000},
+	}
+	for _, a := range axes {
+		if a.vals != nil && len(a.vals) == 0 {
+			return fmt.Errorf("manifest: axis %s is empty (omit it for the default, or list values)", a.name)
+		}
+		for _, v := range a.vals {
+			if v < a.minVal {
+				return fmt.Errorf("manifest: axis %s value %d below minimum %d", a.name, v, a.minVal)
+			}
+		}
+	}
+	if m.MaxPerCategory < 0 {
+		return fmt.Errorf("manifest: negative max_per_category")
+	}
+	if m.Repetitions < 0 {
+		return fmt.Errorf("manifest: negative repetitions")
+	}
+	return nil
+}
+
+// Item is one expanded simulation of a campaign: a runner spec plus the
+// campaign axes that are not part of experiments.Spec.
+type Item struct {
+	// Spec is the runner spec; for repetitions > 0 its workload is a
+	// derived sibling (offset seeds, suffixed name).
+	Spec experiments.Spec
+	// Base is the pool workload name (without the repetition suffix).
+	Base string
+	// TraceLen is the per-thread trace length for this item.
+	TraceLen int
+	// Rep is the repetition index (0 = canonical seeding).
+	Rep int
+}
+
+// Label renders the item's identity as a stable, human-readable key. Diff
+// matches results across campaigns by this label, so it must be a pure
+// function of the item's coordinates.
+func (it Item) Label() string {
+	return fmt.Sprintf("%s|%s|iq%d|rf%d|rob%d|len%d|r%d|st%d",
+		it.Base, it.Spec.Scheme, it.Spec.IQSize, it.Spec.RegsPerClust,
+		it.Spec.ROBPerThread, it.TraceLen, it.Rep, it.Spec.SingleThread)
+}
+
+// repSeedStride separates repetition seed spaces (golden-ratio stride, the
+// same family the pool's own seeding uses).
+const repSeedStride = 0x9e3779b97f4a7c15
+
+// repWorkload derives the rep-th sibling of w: same profiles, offset seeds,
+// suffixed name. The name participates in trace memoization and in the
+// content-addressed result key, so siblings never collide with rep 0.
+func repWorkload(w workload.Workload, rep int) workload.Workload {
+	if rep == 0 {
+		return w
+	}
+	d := w
+	d.Name = fmt.Sprintf("%s+r%d", w.Name, rep)
+	d.Seeds = make([]uint64, len(w.Seeds))
+	for i, s := range w.Seeds {
+		d.Seeds[i] = s + uint64(rep)*repSeedStride
+	}
+	return d
+}
+
+// selectedWorkloads resolves the manifest's workload pool in deterministic
+// order.
+func (m *Manifest) selectedWorkloads() ([]workload.Workload, error) {
+	if len(m.Workloads) > 0 {
+		out := make([]workload.Workload, 0, len(m.Workloads))
+		for _, name := range m.Workloads {
+			w, err := workload.Find(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, w)
+		}
+		return out, nil
+	}
+	o := experiments.Options{Categories: m.Categories, MaxPerCategory: m.MaxPerCategory}
+	return o.Selected(), nil
+}
+
+// axis returns vals, or the default point when the axis was omitted.
+func axis(vals []int, def int) []int {
+	if vals == nil {
+		return []int{def}
+	}
+	return vals
+}
+
+// Expand validates the manifest and returns the full deterministic item
+// list: the cross product of workloads × repetitions × trace lengths ×
+// IQ sizes × register files × ROB depths × schemes, plus the per-thread
+// Icount baselines at every axis point when SingleThreadBaselines is set.
+// Dry runs print exactly this list; real runs execute exactly this list.
+func (m *Manifest) Expand() ([]Item, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	pool, err := m.selectedWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	reps := m.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	var items []Item
+	for _, tl := range axis(m.TraceLens, defaultTraceLen) {
+		for _, base := range pool {
+			for rep := 0; rep < reps; rep++ {
+				w := repWorkload(base, rep)
+				for _, iq := range axis(m.IQSizes, defaultIQSize) {
+					for _, rf := range axis(m.RegsPerCluster, 0) {
+						for _, rob := range axis(m.ROBPerThread, 0) {
+							point := func(scheme string, single int) Item {
+								return Item{
+									Spec: experiments.Spec{
+										Workload:     w,
+										Scheme:       scheme,
+										IQSize:       iq,
+										RegsPerClust: rf,
+										ROBPerThread: rob,
+										SingleThread: single,
+									},
+									Base:     base.Name,
+									TraceLen: tl,
+									Rep:      rep,
+								}
+							}
+							if m.SingleThreadBaselines {
+								for t := range w.Threads {
+									items = append(items, point("icount", t))
+								}
+							}
+							for _, s := range m.Schemes {
+								items = append(items, point(s, -1))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return items, nil
+}

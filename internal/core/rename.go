@@ -19,7 +19,6 @@ type renamePlan struct {
 	copies    []copyPlan
 	needRegs  [isa.NumRegKinds]int
 	needSrcIQ [frontend.MaxClusters]int
-	needIQ    bool
 	robNeeded int
 }
 
@@ -27,7 +26,6 @@ func (pl *renamePlan) reset() {
 	pl.copies = pl.copies[:0]
 	pl.needRegs = [isa.NumRegKinds]int{}
 	pl.needSrcIQ = [frontend.MaxClusters]int{}
-	pl.needIQ = false
 	pl.robNeeded = 0
 }
 
@@ -82,7 +80,6 @@ func (p *Processor) buildPlan(t int, u *isa.Uop, c int) *renamePlan {
 	if u.HasDest() {
 		pl.needRegs[isa.KindOf(u.Dst)]++
 	}
-	pl.needIQ = u.Class != isa.Nop
 	pl.robNeeded = 1 + len(pl.copies)
 	return pl
 }

@@ -142,4 +142,3 @@ var goldenCDPRF = map[string]uint64{
 	"rfstalls": 8509,
 	"squashed": 6409,
 }
-

@@ -60,6 +60,11 @@ func (o Options) workloads(cat string) []workload.Workload {
 	return out
 }
 
+// Selected returns every workload the options select, in deterministic
+// category order — the exported form of all, reused by the campaign
+// manifest expansion so its quick-pool subsets match the figure harness.
+func (o Options) Selected() []workload.Workload { return o.all() }
+
 // all returns every selected workload.
 func (o Options) all() []workload.Workload {
 	var out []workload.Workload
@@ -543,16 +548,18 @@ func Fig10(r *Runner, o Options, schemes []string) (*CategorySeries, error) {
 	return cs, nil
 }
 
-// HeadlineResult is the paper's §1/§6 summary claim.
+// HeadlineResult is the paper's §1/§6 summary claim. The JSON form is the
+// CI figure-regression artifact, compared against a checked-in golden.
 type HeadlineResult struct {
 	// CSSPSpeedup and CDPRFSpeedup are mean per-workload throughput
 	// speedups vs Icount on the Table 1 machine (64 regs/cluster).
-	CSSPSpeedup, CDPRFSpeedup float64
+	CSSPSpeedup  float64 `json:"cssp_speedup"`
+	CDPRFSpeedup float64 `json:"cdprf_speedup"`
 	// FairnessRatio is CDPRF's mean fairness relative to Icount.
-	FairnessRatio float64
+	FairnessRatio float64 `json:"fairness_ratio"`
 	// BestCategory and BestCategorySpeedup report CDPRF's best category.
-	BestCategory        string
-	BestCategorySpeedup float64
+	BestCategory        string  `json:"best_category"`
+	BestCategorySpeedup float64 `json:"best_category_speedup"`
 }
 
 // Headline reproduces the headline numbers: "17.6% average speedup versus

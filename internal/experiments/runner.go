@@ -5,9 +5,14 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"clustersmt/internal/core"
 	"clustersmt/internal/isa"
@@ -36,15 +41,17 @@ func (s Spec) key() string {
 // Runner executes Specs with memoization and a bounded worker pool.
 // It is safe for concurrent use.
 //
-// Two layers are shared across runs. Completed results are memoized by spec
-// key, with singleflight in-flight tracking so concurrent requests for the
-// same spec execute it exactly once. Materialized traces are memoized by
-// (workload, thread, length): the ~100+ specs behind one figure differ in
-// scheme and resource sizing but re-read the same uop streams, and a
-// thread's trace is identical whether it runs alone (the fairness baseline)
-// or inside the SMT pair, so generation cost is paid once per workload
-// thread rather than once per spec. Traces are read-only to the core, which
-// is what makes the sharing safe.
+// Two layers are shared across runs. Completed results land in a pluggable
+// ResultStore under content-addressed keys (CacheKey), with singleflight
+// in-flight tracking so concurrent requests for the same spec execute it
+// exactly once; the default store is in-memory, and campaigns layer a disk
+// store underneath for cross-process persistence. Materialized traces are
+// memoized by (workload, thread, length): the ~100+ specs behind one figure
+// differ in scheme and resource sizing but re-read the same uop streams,
+// and a thread's trace is identical whether it runs alone (the fairness
+// baseline) or inside the SMT pair, so generation cost is paid once per
+// workload thread rather than once per spec. Traces are read-only to the
+// core, which is what makes the sharing safe.
 type Runner struct {
 	// TraceLen is the per-thread trace length in uops.
 	TraceLen int
@@ -54,10 +61,17 @@ type Runner struct {
 	Workers int
 	// Verbose, when set, receives one line per completed run.
 	Verbose func(string)
+	// Store receives completed results and is consulted before executing.
+	// Nil selects a private in-memory store on first use. Set it before the
+	// first Run call; it must not change afterwards.
+	Store ResultStore
 
 	mu       sync.Mutex
-	cache    map[string]*metrics.Stats
 	inflight map[string]*flight
+	keys     map[string]string // spec key -> content-addressed key
+
+	// executed counts actual simulations (store hits excluded).
+	executed atomic.Int64
 
 	traceMu sync.Mutex
 	traces  map[traceKey]*traceEntry
@@ -90,11 +104,16 @@ func NewRunner(traceLen int) *Runner {
 	return &Runner{
 		TraceLen:  traceLen,
 		MaxCycles: int64(traceLen) * 40,
-		cache:     make(map[string]*metrics.Stats),
+		Store:     NewMemStore(),
 		inflight:  make(map[string]*flight),
+		keys:      make(map[string]string),
 		traces:    make(map[traceKey]*traceEntry),
 	}
 }
+
+// Executed returns the number of simulations this runner actually ran
+// (store and singleflight hits excluded).
+func (r *Runner) Executed() int64 { return r.executed.Load() }
 
 // traceFor returns thread i's materialized trace for w, generating it at
 // most once per (workload, thread, length) for the runner's lifetime. The
@@ -135,8 +154,9 @@ func (r *Runner) buildPrograms(w workload.Workload, single int) []core.ThreadPro
 	return progs
 }
 
-// execute runs one spec to completion (uncached).
-func (r *Runner) execute(s Spec) (*metrics.Stats, error) {
+// configFor returns the exact machine configuration execute builds for s.
+// CacheKey hashes it, so the two must stay in lockstep.
+func (r *Runner) configFor(s Spec) core.Config {
 	n := len(s.Workload.Threads)
 	if s.SingleThread >= 0 {
 		n = 1
@@ -148,32 +168,101 @@ func (r *Runner) execute(s Spec) (*metrics.Stats, error) {
 	cfg.ROBPerThread = s.ROBPerThread
 	cfg.MaxCycles = r.MaxCycles
 	cfg.WarmupUops = uint64(r.TraceLen / 5)
-	p, err := core.NewScheme(cfg, s.Scheme, r.buildPrograms(s.Workload, s.SingleThread))
+	return cfg
+}
+
+// specFingerprint is everything that determines a spec's simulated outcome:
+// the simulator revision, the canonicalized machine configuration and the
+// complete workload definition (profiles and seeds — the trace streams are
+// a pure function of these plus the length, which the config's WarmupUops
+// does not capture on its own).
+type specFingerprint struct {
+	Version      string            `json:"version"`
+	Scheme       string            `json:"scheme"`
+	SingleThread int               `json:"single_thread"`
+	TraceLen     int               `json:"trace_len"`
+	Workload     workload.Workload `json:"workload"`
+	Config       json.RawMessage   `json:"config"`
+}
+
+// CacheKey returns the content-addressed result key for s under this
+// runner's settings: the hex SHA-256 of the spec fingerprint. Equal keys
+// mean equal simulated outcomes across processes and branches (for one
+// core.SimVersion), which is what lets a disk store answer for a re-run.
+func (r *Runner) CacheKey(s Spec) string {
+	k := s.key()
+	r.mu.Lock()
+	if ck, ok := r.keys[k]; ok {
+		r.mu.Unlock()
+		return ck
+	}
+	r.mu.Unlock()
+
+	ck := r.computeKey(s)
+
+	r.mu.Lock()
+	if r.keys == nil {
+		r.keys = make(map[string]string)
+	}
+	r.keys[k] = ck
+	r.mu.Unlock()
+	return ck
+}
+
+func (r *Runner) computeKey(s Spec) string {
+	cb, err := r.configFor(s).Canonical()
+	if err != nil {
+		return "spec:" + s.key() // unhashable: session-local key, never persisted as content
+	}
+	b, err := json.Marshal(specFingerprint{
+		Version:      core.SimVersion,
+		Scheme:       s.Scheme,
+		SingleThread: s.SingleThread,
+		TraceLen:     r.TraceLen,
+		Workload:     s.Workload,
+		Config:       cb,
+	})
+	if err != nil {
+		return "spec:" + s.key()
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// execute runs one spec to completion (uncached).
+func (r *Runner) execute(s Spec) (*metrics.Stats, error) {
+	p, err := core.NewScheme(r.configFor(s), s.Scheme, r.buildPrograms(s.Workload, s.SingleThread))
 	if err != nil {
 		return nil, err
 	}
+	r.executed.Add(1)
 	return p.Run(), nil
 }
 
 // Run executes (or recalls) one spec. Concurrent calls for the same spec
-// share a single execution.
+// share a single execution; completed results are recalled from the store.
 func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
 	k := s.key()
+	ck := r.CacheKey(s)
 	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = make(map[string]*metrics.Stats)
-	}
 	if r.inflight == nil {
 		r.inflight = make(map[string]*flight)
 	}
-	if st, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return st, nil
+	if r.Store == nil {
+		r.Store = NewMemStore()
 	}
+	store := r.Store
 	if f, ok := r.inflight[k]; ok {
 		r.mu.Unlock()
 		<-f.done
 		return f.st, f.err
+	}
+	// The store lookup happens under the lock so a miss and the inflight
+	// registration are atomic; the in-memory layer answers in O(1) and a
+	// cold disk read is dwarfed by the simulation it saves.
+	if st, ok, _ := store.Get(ck); ok {
+		r.mu.Unlock()
+		return st, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	r.inflight[k] = f
@@ -181,21 +270,30 @@ func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
 
 	f.st, f.err = r.execute(s)
 
-	r.mu.Lock()
+	var putErr error
 	if f.err == nil {
-		r.cache[k] = f.st
+		putErr = store.Put(ck, f.st)
 	}
+	r.mu.Lock()
 	delete(r.inflight, k)
 	r.mu.Unlock()
 	close(f.done)
 
-	if f.err == nil && r.Verbose != nil {
-		r.Verbose(fmt.Sprintf("%-60s ipc=%.3f", k, f.st.IPC()))
+	if r.Verbose != nil {
+		if f.err == nil {
+			r.Verbose(fmt.Sprintf("%-60s ipc=%.3f", k, f.st.IPC()))
+		}
+		if putErr != nil {
+			r.Verbose(fmt.Sprintf("%-60s store put: %v", k, putErr))
+		}
 	}
 	return f.st, f.err
 }
 
 // RunAll executes specs on a worker pool and returns stats in spec order.
+// Failed specs leave a nil entry and their errors — each annotated with its
+// spec key — are aggregated with errors.Join, so callers get the partial
+// results alongside the combined failure.
 func (r *Runner) RunAll(specs []Spec) ([]*metrics.Stats, error) {
 	workers := r.Workers
 	if workers <= 0 {
@@ -225,12 +323,12 @@ func (r *Runner) RunAll(specs []Spec) ([]*metrics.Stats, error) {
 	}
 	close(work)
 	wg.Wait()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			errs[i] = fmt.Errorf("%s: %w", specs[i].key(), err)
 		}
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // mean returns the arithmetic mean of xs (0 for empty input).

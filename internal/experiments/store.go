@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"errors"
+	"sync"
+
+	"clustersmt/internal/metrics"
+)
+
+// ResultStore holds completed simulation results under content-addressed
+// keys (see Runner.CacheKey). Implementations must be safe for concurrent
+// use. Stats values handed to Put (and returned by Get) are shared — the
+// runner and every caller treat them as immutable.
+//
+// A Get error means the entry could not be produced (for a disk store:
+// missing, unreadable or corrupt); the runner treats it as a miss and
+// re-executes, overwriting the bad entry.
+type ResultStore interface {
+	Get(key string) (*metrics.Stats, bool, error)
+	Put(key string, st *metrics.Stats) error
+}
+
+// MemStore is the in-process ResultStore: a mutex-guarded map. It is the
+// runner's default store and the fast layer of Layered.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string]*metrics.Stats
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string]*metrics.Stats)}
+}
+
+// Get returns the stored result for key, if any.
+func (s *MemStore) Get(key string) (*metrics.Stats, bool, error) {
+	s.mu.RLock()
+	st, ok := s.m[key]
+	s.mu.RUnlock()
+	return st, ok, nil
+}
+
+// Put stores st under key, replacing any previous entry.
+func (s *MemStore) Put(key string, st *metrics.Stats) error {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]*metrics.Stats)
+	}
+	s.m[key] = st
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of stored entries.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Layered composes stores into one: Get consults layers front to back and
+// backfills every earlier (faster) layer on a hit; Put writes through to
+// all layers. The usual composition is Layered(NewMemStore(), diskStore).
+func Layered(layers ...ResultStore) ResultStore {
+	return &layered{layers: layers}
+}
+
+type layered struct {
+	layers []ResultStore
+}
+
+func (l *layered) Get(key string) (*metrics.Stats, bool, error) {
+	var errs []error
+	for i, s := range l.layers {
+		st, ok, err := s.Get(key)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if err := l.layers[j].Put(key, st); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return st, true, errors.Join(errs...)
+	}
+	return nil, false, errors.Join(errs...)
+}
+
+func (l *layered) Put(key string, st *metrics.Stats) error {
+	var errs []error
+	for _, s := range l.layers {
+		if err := s.Put(key, st); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WriteOnly wraps a store so reads always miss while writes pass through.
+// The campaign engine uses it to force re-execution (-resume=false) while
+// still persisting fresh results.
+func WriteOnly(s ResultStore) ResultStore {
+	return writeOnly{s}
+}
+
+type writeOnly struct {
+	inner ResultStore
+}
+
+func (w writeOnly) Get(string) (*metrics.Stats, bool, error) { return nil, false, nil }
+
+func (w writeOnly) Put(key string, st *metrics.Stats) error { return w.inner.Put(key, st) }

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/workload"
+)
+
+// TestRunAllPartialResults pins the partial-progress contract: one bad
+// spec must not discard the good ones, and the joined error must name the
+// failing spec.
+func TestRunAllPartialResults(t *testing.T) {
+	r := NewRunner(1200)
+	w := workload.ByCategory("ispec00")[0]
+	specs := []Spec{
+		iqStudySpec(w, "icount", 32),
+		iqStudySpec(w, "nosuchscheme", 32),
+		iqStudySpec(w, "cssp", 32),
+	}
+	stats, err := r.RunAll(specs)
+	if err == nil {
+		t.Fatal("RunAll succeeded with an unknown scheme in the set")
+	}
+	if !strings.Contains(err.Error(), "nosuchscheme") {
+		t.Errorf("joined error %q does not name the failing spec", err)
+	}
+	if len(stats) != 3 || stats[0] == nil || stats[2] == nil {
+		t.Fatalf("partial results discarded: %v", stats)
+	}
+	if stats[1] != nil {
+		t.Error("failed spec produced stats")
+	}
+	if stats[0].IPC() <= 0 || stats[2].IPC() <= 0 {
+		t.Error("surviving results are empty")
+	}
+}
+
+// TestCacheKeyContentAddressing: equal simulations agree on a key across
+// runner instances; any outcome-relevant difference disagrees.
+func TestCacheKeyContentAddressing(t *testing.T) {
+	w := workload.ByCategory("ispec00")[0]
+	w2 := workload.ByCategory("fspec00")[0]
+	s := iqStudySpec(w, "icount", 32)
+
+	a, b := NewRunner(1500), NewRunner(1500)
+	if a.CacheKey(s) != b.CacheKey(s) {
+		t.Error("identical simulations got different keys across runners")
+	}
+	if len(a.CacheKey(s)) != 64 {
+		t.Errorf("key %q is not a hex SHA-256", a.CacheKey(s))
+	}
+	distinct := map[string]string{
+		"base":      a.CacheKey(s),
+		"scheme":    a.CacheKey(iqStudySpec(w, "cssp", 32)),
+		"iq":        a.CacheKey(iqStudySpec(w, "icount", 64)),
+		"workload":  a.CacheKey(iqStudySpec(w2, "icount", 32)),
+		"trace len": NewRunner(3000).CacheKey(s),
+		"single":    a.CacheKey(Spec{Workload: w, Scheme: "icount", IQSize: 32, SingleThread: 0}),
+	}
+	seen := map[string]string{}
+	for name, key := range distinct {
+		if prev, ok := seen[key]; ok {
+			t.Errorf("%s and %s collided on key %s", name, prev, key)
+		}
+		seen[key] = name
+	}
+}
+
+type flakyStore struct {
+	MemStore
+	getErr error
+}
+
+func (f *flakyStore) Get(key string) (*metrics.Stats, bool, error) {
+	if f.getErr != nil {
+		return nil, false, f.getErr
+	}
+	return f.MemStore.Get(key)
+}
+
+// TestRunnerTreatsStoreErrorAsMiss: a corrupt store entry must trigger
+// re-execution, not a failed run.
+func TestRunnerTreatsStoreErrorAsMiss(t *testing.T) {
+	r := NewRunner(1200)
+	fs := &flakyStore{getErr: errors.New("checksum mismatch")}
+	r.Store = fs
+	w := workload.ByCategory("ispec00")[0]
+	st, err := r.Run(iqStudySpec(w, "icount", 32))
+	if err != nil || st == nil {
+		t.Fatalf("Run = (%v, %v), want re-execution on store error", st, err)
+	}
+	if r.Executed() != 1 {
+		t.Errorf("executed %d, want 1", r.Executed())
+	}
+	// With the store healthy again, the Put-through entry answers.
+	fs.getErr = nil
+	st2, err := r.Run(iqStudySpec(w, "icount", 32))
+	if err != nil || st2 != st {
+		t.Errorf("healthy store did not recall the executed result")
+	}
+	if r.Executed() != 1 {
+		t.Errorf("executed %d after recall, want still 1", r.Executed())
+	}
+}
+
+// TestLayeredBackfill: a hit in a deep layer is copied into the faster
+// layers above it, and only those.
+func TestLayeredBackfill(t *testing.T) {
+	fast, slow := NewMemStore(), NewMemStore()
+	st := metrics.NewStats(1)
+	st.Cycles = 7
+	if err := slow.Put("k", st); err != nil {
+		t.Fatal(err)
+	}
+	l := Layered(fast, slow)
+	got, ok, err := l.Get("k")
+	if err != nil || !ok || got != st {
+		t.Fatalf("layered Get = (%v, %v, %v)", got, ok, err)
+	}
+	if got2, ok, _ := fast.Get("k"); !ok || got2 != st {
+		t.Error("hit was not backfilled into the fast layer")
+	}
+	if fast.Len() != 1 || slow.Len() != 1 {
+		t.Errorf("layer sizes %d/%d, want 1/1", fast.Len(), slow.Len())
+	}
+}
+
+// TestWriteOnly: reads always miss, writes land.
+func TestWriteOnly(t *testing.T) {
+	mem := NewMemStore()
+	w := WriteOnly(mem)
+	st := metrics.NewStats(1)
+	if err := w.Put("k", st); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := w.Get("k"); ok {
+		t.Error("write-only store served a read")
+	}
+	if got, ok, _ := mem.Get("k"); !ok || got != st {
+		t.Error("write-only store dropped the write")
+	}
+}

@@ -1,10 +1,14 @@
 // Package report renders experiment results as fixed-width text tables,
 // one per paper figure, so the harness output can be compared side by side
-// with the paper's plots.
+// with the paper's plots — plus machine-readable JSON and CSV emitters for
+// CI gates and the campaign diff tooling.
 package report
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 )
 
@@ -58,3 +62,33 @@ func F(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 // Pct formats a ratio as a signed percentage delta from 1.0.
 func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", (v-1)*100) }
+
+// JSON marshals v as stable indented JSON with a trailing newline (map
+// keys sort, struct fields follow declaration order), so emitted documents
+// diff cleanly and can be checked in as goldens.
+func JSON(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSONFile emits v as JSON to path.
+func WriteJSONFile(path string, v any) error {
+	b, err := JSON(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// CSV renders a header and rows as RFC 4180 CSV (CRLF-free: one \n per
+// record, fields quoted only when they need it).
+func CSV(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(header)
+	w.WriteAll(rows) // flushes; a strings.Builder writer cannot fail
+	return b.String()
+}

@@ -1,6 +1,9 @@
 package report
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -30,6 +33,56 @@ func TestTableNoTitle(t *testing.T) {
 	out := Table("", []string{"a"}, nil)
 	if strings.Contains(out, "=") && strings.HasPrefix(out, "=") {
 		t.Errorf("no-title table should not start with a rule:\n%s", out)
+	}
+}
+
+func TestJSONStable(t *testing.T) {
+	v := map[string]any{"b": 2.0, "a": []int{1, 2}}
+	b1, err := JSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := JSON(v)
+	if string(b1) != string(b2) {
+		t.Error("JSON output not deterministic")
+	}
+	if !strings.HasSuffix(string(b1), "\n") {
+		t.Error("JSON output lacks trailing newline")
+	}
+	// Map keys sort, so "a" renders before "b".
+	if strings.Index(string(b1), `"a"`) > strings.Index(string(b1), `"b"`) {
+		t.Errorf("map keys unsorted:\n%s", b1)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+}
+
+func TestWriteJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteJSONFile(path, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"x": 1`) {
+		t.Errorf("file content %q", b)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{
+		{"plain", "with,comma"},
+		{`quote"inside`, "multi\nline"},
+	})
+	want := "a,b\n" +
+		"plain,\"with,comma\"\n" +
+		"\"quote\"\"inside\",\"multi\nline\"\n"
+	if out != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", out, want)
 	}
 }
 
