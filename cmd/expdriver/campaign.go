@@ -119,7 +119,9 @@ func campaignRows(m *campaign.Manifest, rs *campaign.ResultSet) [][]string {
 
 var csvHeader = []string{
 	"label", "workload", "scheme", "iq_size", "regs_per_cluster", "rob_per_thread",
-	"trace_len", "rep", "single_thread", "ipc", "copies_per_retired",
+	"trace_len", "rep", "single_thread",
+	"num_clusters", "links", "link_latency", "mem_latency",
+	"ipc", "copies_per_retired",
 	"iq_stalls_per_retired", "fairness", "cached", "error",
 }
 
@@ -130,6 +132,8 @@ func csvRows(rs *campaign.ResultSet) [][]string {
 			r.Label, r.Workload, r.Scheme,
 			strconv.Itoa(r.IQSize), strconv.Itoa(r.RegsPerClust), strconv.Itoa(r.ROBPerThread),
 			strconv.Itoa(r.TraceLen), strconv.Itoa(r.Rep), strconv.Itoa(r.SingleThread),
+			strconv.Itoa(r.NumClusters), strconv.Itoa(r.Links),
+			strconv.Itoa(r.LinkLatency), strconv.Itoa(r.MemLatency),
 			fmt.Sprintf("%g", r.IPC), fmt.Sprintf("%g", r.CopiesPerRet),
 			fmt.Sprintf("%g", r.IQStallsRet), fmt.Sprintf("%g", r.Fairness),
 			strconv.FormatBool(r.Cached), r.Error,

@@ -38,10 +38,14 @@ func main() {
 		os.Exit(runDiff(os.Args[2:]))
 	}
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig9|fig10|headline|future|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig9|fig10|headline|future|clusterscale|all")
 		traceLen   = flag.Int("len", 60000, "trace length per thread (uops)")
 		quick      = flag.Bool("quick", false, "reduced pool (3 type-balanced workloads per category)")
 		cats       = flag.String("categories", "", "comma-separated category subset (default: all)")
+		clusters   = flag.Int("clusters", 0, "back-end cluster count for figure-mode runs (0 = Table 1 default, 2)")
+		links      = flag.Int("links", 0, "inter-cluster links for figure-mode runs (0 = Table 1 default, 2)")
+		linkLat    = flag.Int("link-latency", 0, "inter-cluster link latency in cycles (0 = Table 1 default, 1)")
+		memLat     = flag.Int("mem-latency", 0, "main-memory latency in cycles (0 = Table 1 default, 60)")
 		verbose    = flag.Bool("v", false, "log every simulation")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		manifest   = flag.String("manifest", "", "campaign manifest JSON: run a declarative sweep instead of the figure set")
@@ -49,7 +53,7 @@ func main() {
 		dryRun     = flag.Bool("dry-run", false, "with -manifest: print the expanded spec set and estimated simulation count, run nothing")
 		resume     = flag.Bool("resume", true, "with -manifest: reuse results already in the store (=false re-executes and overwrites)")
 		jsonOut    = flag.String("json", "", "write machine-readable results (figure map or campaign result set) to this file")
-		csvOut     = flag.String("csv", "", "with -manifest: write the campaign result rows as CSV to this file")
+		csvOut     = flag.String("csv", "", "write result rows as CSV to this file (campaign results with -manifest, flat figure rows with -exp clusterscale)")
 	)
 	flag.Parse()
 
@@ -71,7 +75,8 @@ func main() {
 		// than silently ignore an explicitly set flag.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "exp", "len", "quick", "categories":
+			case "exp", "len", "quick", "categories",
+				"clusters", "links", "link-latency", "mem-latency":
 				fmt.Fprintf(os.Stderr, "warning: -%s is ignored with -manifest (the manifest defines the sweep)\n", f.Name)
 			}
 		})
@@ -89,6 +94,12 @@ func main() {
 	}
 
 	r := experiments.NewRunner(*traceLen)
+	r.Shape = experiments.MachineShape{
+		NumClusters: *clusters,
+		Links:       *links,
+		LinkLatency: *linkLat,
+		MemLatency:  *memLat,
+	}
 	if *verbose {
 		r.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -124,6 +135,12 @@ func main() {
 	run("fig10", func() (any, error) { return fig10(r, o) })
 	run("headline", func() (any, error) { return headline(r, o) })
 	run("future", func() (any, error) { return future(r, o) })
+	run("clusterscale", func() (any, error) {
+		if *clusters != 0 {
+			fmt.Fprintln(os.Stderr, "warning: -clusters is ignored by -exp clusterscale (the figure sweeps its own cluster axis)")
+		}
+		return clusterScale(r, o, *csvOut)
+	})
 	if *jsonOut != "" {
 		if err := report.WriteJSONFile(*jsonOut, emitted); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
@@ -269,6 +286,31 @@ func headline(r *experiments.Runner, o experiments.Options) (any, error) {
 			{"best category", fmt.Sprintf("%s %s", h.BestCategory, report.Pct(h.BestCategorySpeedup))},
 		}))
 	return h, nil
+}
+
+func clusterScale(r *experiments.Runner, o experiments.Options, csvOut string) (any, error) {
+	schemes := experiments.ClusterScaleSchemes()
+	counts := experiments.ClusterScaleCounts()
+	res, err := experiments.ClusterScaling(r, o, schemes, counts)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	for _, s := range schemes {
+		for _, c := range counts {
+			order = append(order, fmt.Sprintf("%s/c%d", s, c))
+		}
+	}
+	seriesTable("Cluster scaling: IPC vs cluster count (IQ=32, RF/ROB unbounded)", res.IPC, order)
+	seriesTable("Cluster scaling: copies per retired instruction", res.Copies, order)
+	seriesTable("Cluster scaling: IQ stalls per retired instruction", res.IQStalls, order)
+	if csvOut != "" {
+		header, rows := res.CSV()
+		if err := os.WriteFile(csvOut, []byte(report.CSV(header, rows)), 0o644); err != nil {
+			return nil, fmt.Errorf("csv: %w", err)
+		}
+	}
+	return res, nil
 }
 
 func future(r *experiments.Runner, o experiments.Options) (any, error) {

@@ -78,6 +78,15 @@ func DefaultConfig() Config {
 	}
 }
 
+// WithDefaults returns the configuration with zero fields replaced by the
+// Table 1 defaults — the exact values New would run with. Validation code
+// (core.Config.Validate sizing the completion wheel) needs the effective
+// latencies without building a hierarchy.
+func (c Config) WithDefaults() Config {
+	c.fillDefaults()
+	return c
+}
+
 func (c *Config) fillDefaults() {
 	d := DefaultConfig()
 	if c.LineSize <= 0 {

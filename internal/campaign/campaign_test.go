@@ -8,6 +8,7 @@ import (
 
 	"clustersmt/internal/campaign"
 	"clustersmt/internal/campaign/store"
+	"clustersmt/internal/experiments"
 	"clustersmt/internal/report"
 )
 
@@ -37,6 +38,13 @@ func TestManifestValidation(t *testing.T) {
 		{"empty rob axis", `{"schemes":["icount"],"rob_per_thread":[]}`, "axis rob_per_thread is empty"},
 		{"empty len axis", `{"schemes":["icount"],"trace_lens":[]}`, "axis trace_lens is empty"},
 		{"tiny iq", `{"schemes":["icount"],"iq_sizes":[2]}`, "below minimum"},
+		{"empty clusters axis", `{"schemes":["icount"],"num_clusters":[]}`, "axis num_clusters is empty"},
+		{"zero clusters", `{"schemes":["icount"],"num_clusters":[0]}`, "below minimum"},
+		{"five clusters", `{"schemes":["icount"],"num_clusters":[5]}`, "above maximum"},
+		{"zero links", `{"schemes":["icount"],"links":[0]}`, "below minimum"},
+		{"zero link latency", `{"schemes":["icount"],"link_latency":[0]}`, "below minimum"},
+		{"huge mem latency", `{"schemes":["icount"],"mem_latency":[60000]}`, "above maximum"},
+		{"valid shape sweep", `{"schemes":["icount"],"num_clusters":[1,2,3,4],"links":[1,2],"link_latency":[1,4],"mem_latency":[60,300]}`, ""},
 		{"unknown category", `{"schemes":["icount"],"categories":["nope"]}`, "unknown category"},
 		{"unknown workload", `{"schemes":["icount"],"workloads":["nope.ilp.2.9"]}`, "unknown workload"},
 		{"typoed field", `{"schemes":["icount"],"iq_size":[32]}`, "unknown field"},
@@ -87,6 +95,80 @@ func TestDryRunMatchesRun(t *testing.T) {
 		if rs.Results[i].Label != it.Label() {
 			t.Fatalf("result %d label %q != expanded label %q", i, rs.Results[i].Label, it.Label())
 		}
+	}
+}
+
+// TestShapeAxesExpand pins the machine-shape sweep expansion: the cross
+// product covers every shape, expanded items always carry explicit shape
+// coordinates (Table 1 values when an axis is omitted), labels are unique,
+// and — the property the result store depends on — every shape yields a
+// distinct content-addressed cache key.
+func TestShapeAxesExpand(t *testing.T) {
+	m := &campaign.Manifest{
+		Name:        "shapes",
+		Workloads:   []string{"ispec00.mix.2.1"},
+		Schemes:     []string{"icount"},
+		TraceLens:   []int{1000},
+		NumClusters: []int{1, 2, 3, 4},
+		MemLatency:  []int{60, 300},
+	}
+	items, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 8 { // 4 cluster counts x 2 memory latencies
+		t.Fatalf("expanded %d items, want 8", len(items))
+	}
+	r := experiments.NewRunner(1000)
+	labels := map[string]bool{}
+	keys := map[string]string{}
+	for _, it := range items {
+		if it.Spec.Links != 2 || it.Spec.LinkLatency != 1 {
+			t.Errorf("%s: omitted link axes not defaulted to Table 1 (lk%d ll%d)",
+				it.Label(), it.Spec.Links, it.Spec.LinkLatency)
+		}
+		if labels[it.Label()] {
+			t.Errorf("duplicate label %s", it.Label())
+		}
+		labels[it.Label()] = true
+		key := r.CacheKey(it.Spec)
+		if prev, dup := keys[key]; dup {
+			t.Errorf("shapes %s and %s share cache key %s", prev, it.Label(), key)
+		}
+		keys[key] = it.Label()
+	}
+
+	// Labels: non-default shapes carry the shape suffix; the Table 1 point
+	// keeps the legacy format so pre-shape-axis result sets still diff
+	// row-for-row.
+	for _, it := range items {
+		hasSuffix := strings.Contains(it.Label(), "|c")
+		table1 := it.Spec.NumClusters == 2 && it.Spec.MemLatency == 60
+		if table1 && hasSuffix {
+			t.Errorf("Table 1 point label %q carries a shape suffix (breaks old-campaign diffs)", it.Label())
+		}
+		if !table1 && !hasSuffix {
+			t.Errorf("swept shape label %q lacks the shape suffix", it.Label())
+		}
+	}
+
+	// The Table 1 shape point must produce the same cache key as a
+	// pre-shape-axis spec (all shape fields zero): old stores stay valid.
+	legacy := experiments.Spec{
+		Workload: items[0].Spec.Workload, Scheme: "icount",
+		IQSize: 32, SingleThread: -1,
+	}
+	var table1 *campaign.Item
+	for i := range items {
+		if items[i].Spec.NumClusters == 2 && items[i].Spec.MemLatency == 60 {
+			table1 = &items[i]
+		}
+	}
+	if table1 == nil {
+		t.Fatal("no Table 1 point in the expansion")
+	}
+	if got, want := r.CacheKey(table1.Spec), r.CacheKey(legacy); got != want {
+		t.Errorf("explicit Table 1 shape key %s != legacy zero-shape key %s (old stores invalidated)", got, want)
 	}
 }
 

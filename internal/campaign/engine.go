@@ -39,6 +39,10 @@ type Result struct {
 	TraceLen     int       `json:"trace_len"`
 	Rep          int       `json:"rep"`
 	SingleThread int       `json:"single_thread"`
+	NumClusters  int       `json:"num_clusters"`
+	Links        int       `json:"links"`
+	LinkLatency  int       `json:"link_latency"`
+	MemLatency   int       `json:"mem_latency"`
 	Key          string    `json:"key"`
 	Cached       bool      `json:"cached"`
 	IPC          float64   `json:"ipc"`
@@ -101,11 +105,24 @@ func (r *recordingStore) Put(key string, st *metrics.Stats) error {
 	return r.inner.Put(key, st)
 }
 
-// baselinePoint identifies one single-thread baseline coordinate.
+// baselinePoint identifies one single-thread baseline coordinate. The
+// machine shape participates: a baseline on a 1-cluster machine must not
+// answer for an SMT run on 4 clusters.
 type baselinePoint struct {
 	base                 string
 	rep, tl, iq, rf, rob int
+	nc, lk, ll, ml       int
 	thread               int
+}
+
+// pointOf projects an item onto its baseline coordinate for thread t.
+func pointOf(it Item, t int) baselinePoint {
+	return baselinePoint{
+		base: it.Base, rep: it.Rep, tl: it.TraceLen,
+		iq: it.Spec.IQSize, rf: it.Spec.RegsPerClust, rob: it.Spec.ROBPerThread,
+		nc: it.Spec.NumClusters, lk: it.Spec.Links, ll: it.Spec.LinkLatency, ml: it.Spec.MemLatency,
+		thread: t,
+	}
 }
 
 // Run expands m and executes every item, recalling whatever the store
@@ -176,6 +193,10 @@ func (e *Engine) Run(m *Manifest) (*ResultSet, error) {
 				TraceLen:     it.TraceLen,
 				Rep:          it.Rep,
 				SingleThread: it.Spec.SingleThread,
+				NumClusters:  it.Spec.NumClusters,
+				Links:        it.Spec.Links,
+				LinkLatency:  it.Spec.LinkLatency,
+				MemLatency:   it.Spec.MemLatency,
 				Key:          r.CacheKey(it.Spec),
 			}
 			if st := stats[j]; st != nil {
@@ -225,11 +246,7 @@ func (e *Engine) fillFairness(items []Item, rs *ResultSet) {
 	single := map[baselinePoint]float64{}
 	for i, it := range items {
 		if it.Spec.SingleThread >= 0 && rs.Results[i].Error == "" {
-			single[baselinePoint{
-				base: it.Base, rep: it.Rep, tl: it.TraceLen,
-				iq: it.Spec.IQSize, rf: it.Spec.RegsPerClust, rob: it.Spec.ROBPerThread,
-				thread: it.Spec.SingleThread,
-			}] = rs.Results[i].IPC
+			single[pointOf(it, it.Spec.SingleThread)] = rs.Results[i].IPC
 		}
 	}
 	for i, it := range items {
@@ -242,11 +259,7 @@ func (e *Engine) fillFairness(items []Item, rs *ResultSet) {
 		}
 		singles := make([]float64, 0, n)
 		for t := 0; t < n; t++ {
-			ipc, ok := single[baselinePoint{
-				base: it.Base, rep: it.Rep, tl: it.TraceLen,
-				iq: it.Spec.IQSize, rf: it.Spec.RegsPerClust, rob: it.Spec.ROBPerThread,
-				thread: t,
-			}]
+			ipc, ok := single[pointOf(it, t)]
 			if !ok {
 				break
 			}

@@ -24,6 +24,22 @@ import (
 const (
 	defaultIQSize   = 32
 	defaultTraceLen = 20000
+
+	// Machine-shape axis defaults: the Table 1 machine (two clusters, two
+	// 1-cycle links, 60-cycle memory). Expanded items always carry explicit
+	// shape values; the defaults match core.DefaultConfig exactly, so a
+	// manifest that omits every shape axis produces the same canonical
+	// configs — and therefore the same content-addressed store keys — as a
+	// pre-shape-axis campaign.
+	defaultNumClusters = 2
+	defaultLinks       = 2
+	defaultLinkLatency = 1
+	defaultMemLatency  = 60
+
+	// maxMemLatencyAxis bounds the mem_latency axis well below the
+	// simulator's event-wheel capacity (core.Config.Validate enforces the
+	// exact bound; this catches typos at manifest-validation time).
+	maxMemLatencyAxis = 50000
 )
 
 // Manifest declares a campaign: which workloads, which schemes, and the
@@ -62,6 +78,20 @@ type Manifest struct {
 	// TraceLens sweeps the per-thread trace length in uops
 	// (default [20000]).
 	TraceLens []int `json:"trace_lens,omitempty"`
+
+	// NumClusters sweeps the back-end cluster count over [1,4]
+	// (default [2], the paper's machine).
+	NumClusters []int `json:"num_clusters,omitempty"`
+	// Links sweeps the inter-cluster link count — copy transfers per cycle
+	// (default [2]).
+	Links []int `json:"links,omitempty"`
+	// LinkLatency sweeps the inter-cluster transfer latency in cycles
+	// (default [1]).
+	LinkLatency []int `json:"link_latency,omitempty"`
+	// MemLatency sweeps the main-memory access latency in cycles
+	// (default [60]). The simulator sizes its completion wheel from the
+	// swept value; core.Config.Validate rejects latencies it cannot model.
+	MemLatency []int `json:"mem_latency,omitempty"`
 
 	// Repetitions re-runs every point with per-repetition seed offsets
 	// (rep 0 is the canonical pool seeding; default 1).
@@ -133,11 +163,16 @@ func (m *Manifest) Validate() error {
 		name   string
 		vals   []int
 		minVal int
+		maxVal int // 0 = unbounded
 	}{
-		{"iq_sizes", m.IQSizes, 4},
-		{"regs_per_cluster", m.RegsPerCluster, 0},
-		{"rob_per_thread", m.ROBPerThread, 0},
-		{"trace_lens", m.TraceLens, 1000},
+		{"iq_sizes", m.IQSizes, 4, 0},
+		{"regs_per_cluster", m.RegsPerCluster, 0, 0},
+		{"rob_per_thread", m.ROBPerThread, 0, 0},
+		{"trace_lens", m.TraceLens, 1000, 0},
+		{"num_clusters", m.NumClusters, 1, 4},
+		{"links", m.Links, 1, 64},
+		{"link_latency", m.LinkLatency, 1, 1024},
+		{"mem_latency", m.MemLatency, 1, maxMemLatencyAxis},
 	}
 	for _, a := range axes {
 		if a.vals != nil && len(a.vals) == 0 {
@@ -146,6 +181,9 @@ func (m *Manifest) Validate() error {
 		for _, v := range a.vals {
 			if v < a.minVal {
 				return fmt.Errorf("manifest: axis %s value %d below minimum %d", a.name, v, a.minVal)
+			}
+			if a.maxVal > 0 && v > a.maxVal {
+				return fmt.Errorf("manifest: axis %s value %d above maximum %d", a.name, v, a.maxVal)
 			}
 		}
 	}
@@ -174,11 +212,22 @@ type Item struct {
 
 // Label renders the item's identity as a stable, human-readable key. Diff
 // matches results across campaigns by this label, so it must be a pure
-// function of the item's coordinates.
+// function of the item's coordinates. The machine-shape suffix
+// (c = clusters, lk = links, ll = link latency, ml = memory latency) is
+// appended only for non-Table-1 shapes, so Table 1 labels stay
+// byte-identical to pre-shape-axis campaigns — result sets emitted before
+// the shape axes existed still diff row-for-row against new ones (the same
+// compatibility rule the content-addressed store keys follow).
 func (it Item) Label() string {
-	return fmt.Sprintf("%s|%s|iq%d|rf%d|rob%d|len%d|r%d|st%d",
+	l := fmt.Sprintf("%s|%s|iq%d|rf%d|rob%d|len%d|r%d|st%d",
 		it.Base, it.Spec.Scheme, it.Spec.IQSize, it.Spec.RegsPerClust,
 		it.Spec.ROBPerThread, it.TraceLen, it.Rep, it.Spec.SingleThread)
+	s := it.Spec
+	if s.NumClusters != defaultNumClusters || s.Links != defaultLinks ||
+		s.LinkLatency != defaultLinkLatency || s.MemLatency != defaultMemLatency {
+		l += fmt.Sprintf("|c%d|lk%d|ll%d|ml%d", s.NumClusters, s.Links, s.LinkLatency, s.MemLatency)
+	}
+	return l
 }
 
 // repSeedStride separates repetition seed spaces (golden-ratio stride, the
@@ -186,8 +235,10 @@ func (it Item) Label() string {
 const repSeedStride = 0x9e3779b97f4a7c15
 
 // repWorkload derives the rep-th sibling of w: same profiles, offset seeds,
-// suffixed name. The name participates in trace memoization and in the
-// content-addressed result key, so siblings never collide with rep 0.
+// suffixed name. The seed offset is what keeps siblings distinct — trace
+// memoization and the runner's session maps key on seed/profile content,
+// not names — while the suffixed name keeps labels and result records
+// readable. A rename alone would NOT reseed anything.
 func repWorkload(w workload.Workload, rep int) workload.Workload {
 	if rep == 0 {
 		return w
@@ -229,7 +280,8 @@ func axis(vals []int, def int) []int {
 
 // Expand validates the manifest and returns the full deterministic item
 // list: the cross product of workloads × repetitions × trace lengths ×
-// IQ sizes × register files × ROB depths × schemes, plus the per-thread
+// IQ sizes × register files × ROB depths × machine shapes (cluster count ×
+// links × link latency × memory latency) × schemes, plus the per-thread
 // Icount baselines at every axis point when SingleThreadBaselines is set.
 // Dry runs print exactly this list; real runs execute exactly this list.
 func (m *Manifest) Expand() ([]Item, error) {
@@ -244,6 +296,18 @@ func (m *Manifest) Expand() ([]Item, error) {
 	if reps < 1 {
 		reps = 1
 	}
+	var shapes []experiments.MachineShape
+	for _, nc := range axis(m.NumClusters, defaultNumClusters) {
+		for _, lk := range axis(m.Links, defaultLinks) {
+			for _, ll := range axis(m.LinkLatency, defaultLinkLatency) {
+				for _, ml := range axis(m.MemLatency, defaultMemLatency) {
+					shapes = append(shapes, experiments.MachineShape{
+						NumClusters: nc, Links: lk, LinkLatency: ll, MemLatency: ml,
+					})
+				}
+			}
+		}
+	}
 	var items []Item
 	for _, tl := range axis(m.TraceLens, defaultTraceLen) {
 		for _, base := range pool {
@@ -252,28 +316,34 @@ func (m *Manifest) Expand() ([]Item, error) {
 				for _, iq := range axis(m.IQSizes, defaultIQSize) {
 					for _, rf := range axis(m.RegsPerCluster, 0) {
 						for _, rob := range axis(m.ROBPerThread, 0) {
-							point := func(scheme string, single int) Item {
-								return Item{
-									Spec: experiments.Spec{
-										Workload:     w,
-										Scheme:       scheme,
-										IQSize:       iq,
-										RegsPerClust: rf,
-										ROBPerThread: rob,
-										SingleThread: single,
-									},
-									Base:     base.Name,
-									TraceLen: tl,
-									Rep:      rep,
+							for _, sh := range shapes {
+								point := func(scheme string, single int) Item {
+									return Item{
+										Spec: experiments.Spec{
+											Workload:     w,
+											Scheme:       scheme,
+											IQSize:       iq,
+											RegsPerClust: rf,
+											ROBPerThread: rob,
+											SingleThread: single,
+											NumClusters:  sh.NumClusters,
+											Links:        sh.Links,
+											LinkLatency:  sh.LinkLatency,
+											MemLatency:   sh.MemLatency,
+										},
+										Base:     base.Name,
+										TraceLen: tl,
+										Rep:      rep,
+									}
 								}
-							}
-							if m.SingleThreadBaselines {
-								for t := range w.Threads {
-									items = append(items, point("icount", t))
+								if m.SingleThreadBaselines {
+									for t := range w.Threads {
+										items = append(items, point("icount", t))
+									}
 								}
-							}
-							for _, s := range m.Schemes {
-								items = append(items, point(s, -1))
+								for _, s := range m.Schemes {
+									items = append(items, point(s, -1))
+								}
 							}
 						}
 					}

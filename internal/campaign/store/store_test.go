@@ -10,7 +10,7 @@ import (
 )
 
 func testStats() *metrics.Stats {
-	st := metrics.NewStats(2)
+	st := metrics.NewStats(2, 2)
 	st.Cycles = 1234
 	st.Committed[0] = 1000
 	st.Committed[1] = 900

@@ -18,6 +18,11 @@ import (
 	"clustersmt/internal/interconnect"
 )
 
+// MaxClusters is the largest supported back-end cluster count. Validate
+// enforces it, and every fixed-size per-cluster scratch array in the
+// processor is sized from it — widen it here and everything follows.
+const MaxClusters = 4
+
 // Config is the machine configuration. DefaultConfig returns Table 1.
 type Config struct {
 	// NumClusters is the number of back-end clusters (paper: 2).
@@ -109,8 +114,8 @@ func DefaultConfig(n int) Config {
 
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
-	if c.NumClusters < 1 || c.NumClusters > 4 {
-		return fmt.Errorf("core: NumClusters=%d outside [1,4]", c.NumClusters)
+	if c.NumClusters < 1 || c.NumClusters > MaxClusters {
+		return fmt.Errorf("core: NumClusters=%d outside [1,%d]", c.NumClusters, MaxClusters)
 	}
 	if c.NumThreads < 1 {
 		return fmt.Errorf("core: NumThreads=%d < 1", c.NumThreads)
@@ -130,7 +135,33 @@ func (c *Config) Validate() error {
 	if c.MispredictPenalty < 0 {
 		return fmt.Errorf("core: negative mispredict penalty")
 	}
+	if span := c.WorstCaseLatency(); span+wheelHeadroom > maxWheelSize {
+		mem := c.Cache.WithDefaults()
+		return fmt.Errorf("core: worst-case completion latency %d cycles (DTLB=%d L1=%d L2=%d Mem=%d link=%d) exceeds the %d-cycle event-wheel capacity; lower MemLatency or the other latencies",
+			span, mem.DTLBMissCycles, mem.L1Latency, mem.L2Latency, mem.MemLatency,
+			c.Net.WithDefaults().Latency, maxWheelSize)
+	}
 	return nil
+}
+
+// WorstCaseLatency returns the largest issue-to-completion distance, in
+// cycles, any single uop can be scheduled at under this configuration: a
+// load that coalesces with an in-flight memory fill (which itself paid a
+// DTLB miss plus the full L1+L2+memory chain) while taking its own DTLB
+// miss, plus address generation. The completion wheel is sized from it; no
+// reachable schedule() call may exceed it.
+func (c *Config) WorstCaseLatency() int {
+	mem := c.Cache.WithDefaults()
+	net := c.Net.WithDefaults()
+	memPath := 2*mem.DTLBMissCycles + mem.L1Latency + mem.L2Latency + mem.MemLatency + 1
+	worst := memPath
+	if net.Latency > worst {
+		worst = net.Latency
+	}
+	if maxExecLatency > worst {
+		worst = maxExecLatency
+	}
+	return worst
 }
 
 // withDefaults fills derived/zero fields.

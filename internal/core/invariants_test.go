@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -94,6 +96,36 @@ func TestResourceConservationAllSchemes(t *testing.T) {
 			}
 			drainAndCheckConservation(t, p)
 		})
+	}
+}
+
+// TestResourceConservationClusterCounts runs the conservation suite on the
+// swept machine shapes: every validated cluster count that is not the
+// Table 1 default, the representative scheme trio, and (at four clusters) a
+// slow-memory shape that grows the completion wheel past 256 slots.
+func TestResourceConservationClusterCounts(t *testing.T) {
+	for _, clusters := range []int{1, 3, 4} {
+		for _, scheme := range []string{"icount", "cssp", "cdprf"} {
+			clusters, scheme := clusters, scheme
+			t.Run(fmt.Sprintf("c%d/%s", clusters, scheme), func(t *testing.T) {
+				cfg := DefaultConfig(2)
+				cfg.NumClusters = clusters
+				cfg.RunToCompletion = true
+				cfg.MaxCycles = 3_000_000
+				if clusters == 4 {
+					cfg.Cache.MemLatency = 300 // wheel grows to 512 slots
+				}
+				p, err := NewScheme(cfg, scheme, testPrograms(t, 3000))
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Run()
+				if !p.Done() {
+					t.Fatal("run did not complete")
+				}
+				drainAndCheckConservation(t, p)
+			})
+		}
 	}
 }
 
@@ -239,6 +271,10 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.MOBSize = 0 },
 		func(c *Config) { c.ROBPerThread = -1 },
 		func(c *Config) { c.MispredictPenalty = -1 },
+		// Worst-case completion latency beyond the event-wheel hard cap
+		// must be rejected, not silently clamped mid-run.
+		func(c *Config) { c.Cache.MemLatency = maxWheelSize },
+		func(c *Config) { c.Net.Latency = maxWheelSize },
 	}
 	for i, mut := range bad {
 		cfg := DefaultConfig(2)
@@ -250,6 +286,33 @@ func TestConfigValidation(t *testing.T) {
 	good := DefaultConfig(2)
 	if err := good.Validate(); err != nil {
 		t.Errorf("default config rejected: %v", err)
+	}
+	// A large-but-modelable memory latency is exactly what the sweep axes
+	// exist for; the wheel sizes itself to fit it.
+	slow := DefaultConfig(2)
+	slow.Cache.MemLatency = 300
+	if err := slow.Validate(); err != nil {
+		t.Errorf("MemLatency=300 rejected: %v", err)
+	}
+	if got := wheelSizeFor(&slow); got < int64(slow.WorstCaseLatency()) {
+		t.Errorf("wheel %d slots cannot hold worst-case latency %d", got, slow.WorstCaseLatency())
+	}
+}
+
+// TestWheelRejectionMessage pins the contract of the bugfix: a swept
+// MemLatency the wheel cannot model fails Validate with an explanation, it
+// does not silently complete loads early.
+func TestWheelRejectionMessage(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Cache.MemLatency = 1 << 17
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("oversized MemLatency accepted")
+	}
+	for _, want := range []string{"worst-case completion latency", "event-wheel capacity"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"clustersmt/internal/cachesim"
 	"clustersmt/internal/frontend"
 	"clustersmt/internal/isa"
@@ -56,13 +58,16 @@ func (p *Processor) schedule(e *frontend.ROBEntry, at int64) {
 	if at <= p.now {
 		at = p.now + 1
 	}
-	if at-p.now >= wheelSize {
-		// The wheel covers every modelled latency; clamp defensively so a
-		// future latency change cannot corrupt the ring.
-		at = p.now + wheelSize - 1
+	if at-p.now > p.wheelMask {
+		// The wheel is sized from Config.WorstCaseLatency and Validate
+		// rejects configurations that cannot fit; reaching this means the
+		// worst-case formula missed a latency path. Clamping here would
+		// silently complete the uop early and corrupt results, so fail loud.
+		panic(fmt.Sprintf("core: completion %d cycles ahead exceeds the %d-slot event wheel (WorstCaseLatency undercounts a path)",
+			at-p.now, p.wheelMask+1))
 	}
 	e.InWheel = true
-	b := &p.wheel[at%wheelSize]
+	b := &p.wheel[at&p.wheelMask]
 	*b = append(*b, e)
 }
 
@@ -171,7 +176,7 @@ func (p *Processor) issue() {
 	for c := range p.ports {
 		p.ports[c].Reset()
 	}
-	p.scratchLeftover = [metrics.NumImbClasses][4]bool{}
+	p.scratchLeftover = [metrics.NumImbClasses][MaxClusters]bool{}
 	issuedAny := false
 	// Alternate which cluster selects first so neither has a standing
 	// advantage at the shared L1 ports and links.

@@ -16,9 +16,32 @@ import (
 	"clustersmt/internal/trace"
 )
 
-// wheelSize is the completion-event ring size; it must exceed the largest
-// possible single-access latency (TLB miss + L1 + L2 + memory).
-const wheelSize = 256
+// The completion-event wheel is a power-of-two ring sized per processor
+// from Config.WorstCaseLatency, so any validated latency — including swept
+// memory and link latencies — fits without clamping. minWheelSize keeps the
+// Table 1 machine on the historical 256-slot ring; maxWheelSize is the hard
+// capacity Config.Validate enforces; wheelHeadroom absorbs the +1 floors
+// on top of the worst-case path.
+const (
+	minWheelSize  = 256
+	maxWheelSize  = 1 << 16
+	wheelHeadroom = 8
+	// maxExecLatency bounds the non-memory execution latencies
+	// (isa.Latency tops out at 4 cycles; store-to-load forwarding at 2).
+	maxExecLatency = 8
+)
+
+// wheelSizeFor returns the ring length for cfg: the smallest power of two
+// covering the worst-case completion distance plus headroom, at least
+// minWheelSize.
+func wheelSizeFor(cfg *Config) int64 {
+	need := cfg.WorstCaseLatency() + wheelHeadroom
+	size := int64(minWheelSize)
+	for size < int64(need) {
+		size <<= 1
+	}
+	return size
+}
 
 // ThreadProgram is one thread's input: a materialized correct-path trace
 // plus the profile used to synthesize wrong-path uops after mispredictions.
@@ -84,7 +107,8 @@ type Processor struct {
 	rrCommit int
 	rrSelect int
 
-	wheel [wheelSize][]*frontend.ROBEntry
+	wheel     [][]*frontend.ROBEntry
+	wheelMask int64
 
 	pool []*frontend.ROBEntry
 
@@ -98,7 +122,7 @@ type Processor struct {
 	scratchSrcCnt   []int
 	scratchOcc      []int
 	scratchPlan     renamePlan
-	scratchLeftover [metrics.NumImbClasses][4]bool
+	scratchLeftover [metrics.NumImbClasses][MaxClusters]bool
 }
 
 // New builds a processor from cfg, the scheme components, the steering
@@ -125,8 +149,11 @@ func New(cfg Config, sel policy.Selector, iqPol policy.IQPolicy, rfPol policy.RF
 		mem:   cachesim.New(cfg.Cache),
 		mobq:  mob.New(cfg.MOBSize, cfg.NumThreads),
 		net:   interconnect.New(cfg.Net),
-		stats: metrics.NewStats(cfg.NumThreads),
+		stats: metrics.NewStats(cfg.NumThreads, cfg.NumClusters),
 	}
+	wheelLen := wheelSizeFor(&cfg)
+	p.wheel = make([][]*frontend.ROBEntry, wheelLen)
+	p.wheelMask = wheelLen - 1
 	for c := 0; c < cfg.NumClusters; c++ {
 		p.iqs = append(p.iqs, cluster.NewIssueQueue[*frontend.ROBEntry](cfg.IQSize, cfg.NumThreads))
 		rf := cluster.NewRegFile[*frontend.ROBEntry](cfg.IntRegsPerCluster, cfg.FpRegsPerCluster, cfg.NumThreads)

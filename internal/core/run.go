@@ -10,7 +10,7 @@ import (
 // destination registers become ready, branches resolve, miss-gated policies
 // are released. Squashed entries are returned to the pool here.
 func (p *Processor) processCompletions() {
-	b := &p.wheel[p.now%wheelSize]
+	b := &p.wheel[p.now&p.wheelMask]
 	if len(*b) == 0 {
 		return
 	}
@@ -96,7 +96,7 @@ func (p *Processor) warmupDone() bool {
 // resetStats discards statistics collected so far (end of warm-up); all
 // microarchitectural state (caches, predictor, occupancy) is preserved.
 func (p *Processor) resetStats() {
-	p.stats = metrics.NewStats(p.cfg.NumThreads)
+	p.stats = metrics.NewStats(p.cfg.NumThreads, p.cfg.NumClusters)
 	p.statsCycleBase = p.now
 	p.statsFwdBase = p.mobq.Forwards()
 }

@@ -61,6 +61,22 @@ func TestWakeupEquivalence(t *testing.T) {
 		{"one-cluster", "ispec00.mix.2.1", "icount", func(c *Config) {
 			c.NumClusters = 1
 		}},
+		{"three-clusters", "ispec00.mix.2.1", "cssp", func(c *Config) {
+			c.NumClusters = 3
+		}},
+		{"four-clusters", "server.mix.2.1", "cdprf", func(c *Config) {
+			c.NumClusters = 4
+		}},
+		{"slow-memory", "ispec00.mix.2.1", "icount", func(c *Config) {
+			// 400-cycle memory forces the completion wheel past its
+			// historical 256 slots; the old code silently clamped here.
+			c.Cache.MemLatency = 400
+		}},
+		{"wide-slow-links", "fspec00.mix.2.1", "cssp", func(c *Config) {
+			c.NumClusters = 4
+			c.Net.Links = 1
+			c.Net.Latency = 8
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -80,28 +96,33 @@ func TestWakeupEquivalence(t *testing.T) {
 
 // TestWakeupGolden pins fixed-seed headline statistics so any future change
 // to the wakeup path that shifts results (rather than just speed) fails
-// loudly. The values were produced by the pre-refactor polling
-// implementation at this exact seed/config and must never drift.
+// loudly. The two-cluster values were produced by the pre-refactor polling
+// implementation at this exact seed/config and must never drift; the 1/3/4
+// cluster rows were captured from the polling path when the cluster-count
+// axis opened (this PR) and pin the machine-shape sweep the same way.
 func TestWakeupGolden(t *testing.T) {
 	w, err := workload.Find("ispec00.mix.2.1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := runWakeupMode(t, w, "cdprf", 8000, false, nil)
-	st := p.Stats()
-	got := map[string]uint64{
-		"cycles":   uint64(st.Cycles),
-		"ret0":     st.Committed[0],
-		"ret1":     st.Committed[1],
-		"copies":   st.CommittedCopies,
-		"iqstalls": st.IQStalls,
-		"rfstalls": st.RFStalls,
-		"squashed": st.Squashed,
-	}
-	want := goldenCDPRF
-	for k, v := range want {
-		if got[k] != v {
-			t.Errorf("%s = %d, want %d (full: %+v)", k, got[k], v, got)
+	for clusters, want := range goldenCDPRFByClusters {
+		p := runWakeupMode(t, w, "cdprf", 8000, false, func(c *Config) {
+			c.NumClusters = clusters
+		})
+		st := p.Stats()
+		got := map[string]uint64{
+			"cycles":   uint64(st.Cycles),
+			"ret0":     st.Committed[0],
+			"ret1":     st.Committed[1],
+			"copies":   st.CommittedCopies,
+			"iqstalls": st.IQStalls,
+			"rfstalls": st.RFStalls,
+			"squashed": st.Squashed,
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("clusters=%d: %s = %d, want %d (full: %+v)", clusters, k, got[k], v, got)
+			}
 		}
 	}
 }
@@ -131,14 +152,46 @@ func TestWakeupSquashStress(t *testing.T) {
 	}
 }
 
-// goldenCDPRF was captured from the pre-refactor polling implementation
-// (ispec00.mix.2.1, cdprf, 8000-uop traces, Table 1 defaults).
-var goldenCDPRF = map[string]uint64{
-	"cycles":   12629,
-	"ret0":     8000,
-	"ret1":     1710,
-	"copies":   1537,
-	"iqstalls": 8888,
-	"rfstalls": 8509,
-	"squashed": 6409,
+// goldenCDPRFByClusters pins ispec00.mix.2.1 under cdprf with 8000-uop
+// traces at every validated cluster count (Table 1 defaults otherwise).
+// The clusters=2 row is the original pre-refactor polling capture; the
+// others were captured from the polling path when the cluster-count sweep
+// axis was introduced.
+var goldenCDPRFByClusters = map[int]map[string]uint64{
+	2: {
+		"cycles":   12629,
+		"ret0":     8000,
+		"ret1":     1710,
+		"copies":   1537,
+		"iqstalls": 8888,
+		"rfstalls": 8509,
+		"squashed": 6409,
+	},
+	1: {
+		"cycles":   16675,
+		"ret0":     8000,
+		"ret1":     2240,
+		"copies":   0,
+		"iqstalls": 4449,
+		"rfstalls": 20410,
+		"squashed": 3493,
+	},
+	3: {
+		"cycles":   10714,
+		"ret0":     8000,
+		"ret1":     1444,
+		"copies":   2523,
+		"iqstalls": 9955,
+		"rfstalls": 3623,
+		"squashed": 8701,
+	},
+	4: {
+		"cycles":   10275,
+		"ret0":     8000,
+		"ret1":     1366,
+		"copies":   3121,
+		"iqstalls": 10766,
+		"rfstalls": 1269,
+		"squashed": 10822,
+	},
 }

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clustersmt/internal/workload"
+)
+
+// ClusterScalingResult is the machine-shape headline figure: how the
+// steering schemes scale from one to four back-end clusters. The paper
+// evaluates a fixed two-cluster machine (Table 1); its steering baseline
+// (Canal/Parcerisa/González) and the round-robin alternative were designed
+// for the general N-cluster question, which this figure answers on the
+// reproduction's workload pool. Three metrics per (scheme, cluster count)
+// series, averaged per workload category: absolute IPC, inter-cluster
+// copies per retired instruction (the communication cost that grows with
+// cluster count) and issue-queue stalls per retired instruction (the
+// pressure relief that more clusters buy). Series are named "<scheme>/c<n>".
+type ClusterScalingResult struct {
+	// Clusters is the swept cluster-count axis (paper machine: 2).
+	Clusters []int `json:"clusters"`
+	// Schemes lists the resource-assignment schemes swept.
+	Schemes []string `json:"schemes"`
+	// IPC is absolute throughput (committed uops per cycle).
+	IPC *CategorySeries `json:"ipc"`
+	// Copies is inter-cluster link transfers per retired instruction.
+	Copies *CategorySeries `json:"copies_per_retired"`
+	// IQStalls is issue-queue stalls per retired instruction.
+	IQStalls *CategorySeries `json:"iq_stalls_per_retired"`
+}
+
+// clusterScaleSpec returns the §5.1 study spec (32-entry IQs, unbounded
+// RF/ROB) on an n-cluster machine. Links and latencies stay at Table 1.
+func clusterScaleSpec(w workload.Workload, scheme string, clusters int) Spec {
+	return Spec{Workload: w, Scheme: scheme, IQSize: 32,
+		RegsPerClust: unbounded, ROBPerThread: unbounded, SingleThread: -1,
+		NumClusters: clusters}
+}
+
+// clusterSeriesName names one (scheme, cluster count) series.
+func clusterSeriesName(scheme string, clusters int) string {
+	return fmt.Sprintf("%s/c%d", scheme, clusters)
+}
+
+// ClusterScaling runs the cluster-count sweep for the given schemes and
+// cluster counts and aggregates the three metrics per workload category.
+func ClusterScaling(r *Runner, o Options, schemes []string, clusters []int) (*ClusterScalingResult, error) {
+	var names []string
+	for _, s := range schemes {
+		for _, c := range clusters {
+			names = append(names, clusterSeriesName(s, c))
+		}
+	}
+	res := &ClusterScalingResult{
+		Clusters: clusters,
+		Schemes:  schemes,
+		IPC:      newCategorySeries(o, names),
+		Copies:   newCategorySeries(o, names),
+		IQStalls: newCategorySeries(o, names),
+	}
+
+	// Warm the cache in parallel across the whole sweep.
+	var specs []Spec
+	for _, w := range o.all() {
+		for _, s := range schemes {
+			for _, c := range clusters {
+				specs = append(specs, clusterScaleSpec(w, s, c))
+			}
+		}
+	}
+	if _, err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+
+	type acc struct{ ipc, copies, stalls []float64 }
+	overall := map[string]*acc{}
+	for _, name := range names {
+		overall[name] = &acc{}
+	}
+	for _, cat := range o.categories() {
+		disp := workload.DisplayName(cat)
+		perCat := map[string]*acc{}
+		for _, name := range names {
+			perCat[name] = &acc{}
+		}
+		for _, w := range o.workloads(cat) {
+			for _, s := range schemes {
+				for _, c := range clusters {
+					st, err := r.Run(clusterScaleSpec(w, s, c))
+					if err != nil {
+						return nil, err
+					}
+					name := clusterSeriesName(s, c)
+					for _, a := range []*acc{perCat[name], overall[name]} {
+						a.ipc = append(a.ipc, st.IPC())
+						a.copies = append(a.copies, st.CopiesPerRetired())
+						a.stalls = append(a.stalls, st.IQStallsPerRetired())
+					}
+				}
+			}
+		}
+		for name, a := range perCat {
+			res.IPC.Values[name][disp] = mean(a.ipc)
+			res.Copies.Values[name][disp] = mean(a.copies)
+			res.IQStalls.Values[name][disp] = mean(a.stalls)
+		}
+	}
+	for name, a := range overall {
+		res.IPC.Values[name]["AVG"] = mean(a.ipc)
+		res.Copies.Values[name]["AVG"] = mean(a.copies)
+		res.IQStalls.Values[name]["AVG"] = mean(a.stalls)
+	}
+	return res, nil
+}
+
+// CSV renders the result as flat rows (one per category × scheme × cluster
+// count), the machine-readable sibling of the three text tables.
+func (r *ClusterScalingResult) CSV() (header []string, rows [][]string) {
+	header = []string{"category", "scheme", "clusters", "ipc", "copies_per_retired", "iq_stalls_per_retired"}
+	for _, cat := range r.IPC.Categories {
+		for _, s := range r.Schemes {
+			for _, c := range r.Clusters {
+				name := clusterSeriesName(s, c)
+				rows = append(rows, []string{
+					cat, s, itoa(c),
+					fmt.Sprintf("%g", r.IPC.Values[name][cat]),
+					fmt.Sprintf("%g", r.Copies.Values[name][cat]),
+					fmt.Sprintf("%g", r.IQStalls.Values[name][cat]),
+				})
+			}
+		}
+	}
+	return header, rows
+}
+
+// ClusterScaleSchemes is the default scheme list of the cluster-scaling
+// figure: the cluster-blind Icount baseline plus the paper's two headline
+// cluster-aware schemes (static IQ partition, dynamic IQ+RF partition).
+func ClusterScaleSchemes() []string { return []string{"icount", "cssp", "cdprf"} }
+
+// ClusterScaleCounts is the full validated cluster-count axis.
+func ClusterScaleCounts() []int { return []int{1, 2, 3, 4} }

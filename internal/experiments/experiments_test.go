@@ -42,6 +42,10 @@ func TestSpecKeyDistinguishesDimensions(t *testing.T) {
 		iqStudySpec(w, "icount", 64),
 		rfStudySpec(w, "icount", 64),
 		{Workload: w, Scheme: "icount", IQSize: 32, SingleThread: 0},
+		clusterScaleSpec(w, "icount", 3),
+		func() Spec { s := base; s.Links = 1; return s }(),
+		func() Spec { s := base; s.LinkLatency = 4; return s }(),
+		func() Spec { s := base; s.MemLatency = 300; return s }(),
 	}
 	for i, v := range variants {
 		if v.key() == base.key() {
@@ -206,6 +210,45 @@ func TestHeadlineRuns(t *testing.T) {
 	}
 	if h.BestCategory == "" {
 		t.Error("no best category")
+	}
+}
+
+// TestClusterScalingShape runs the cluster-scaling figure on a tiny pool
+// and checks its structural physics: every series present for every
+// category, zero inter-cluster copies on a single cluster, and nonzero
+// copies once there is more than one cluster to copy between.
+func TestClusterScalingShape(t *testing.T) {
+	r := NewRunner(2000)
+	o := Options{Categories: []string{"ispec00"}, MaxPerCategory: 1}
+	res, err := ClusterScaling(r, o, []string{"icount"}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range []*CategorySeries{res.IPC, res.Copies, res.IQStalls} {
+		for _, name := range []string{"icount/c1", "icount/c2"} {
+			for _, cat := range cs.Categories {
+				if _, ok := cs.Values[name][cat]; !ok {
+					t.Errorf("missing %s/%s", name, cat)
+				}
+			}
+		}
+	}
+	if v := res.Copies.Values["icount/c1"]["AVG"]; v != 0 {
+		t.Errorf("one-cluster machine reported %v copies/retired", v)
+	}
+	if v := res.Copies.Values["icount/c2"]["AVG"]; v <= 0 {
+		t.Errorf("two-cluster machine reported %v copies/retired, want > 0", v)
+	}
+	if res.IPC.Values["icount/c1"]["AVG"] <= 0 || res.IPC.Values["icount/c2"]["AVG"] <= 0 {
+		t.Error("IPC series empty")
+	}
+	header, rows := res.CSV()
+	if len(header) != 6 {
+		t.Errorf("CSV header %v", header)
+	}
+	// categories (ispec00 + AVG) x schemes x cluster counts
+	if want := 2 * 1 * 2; len(rows) != want {
+		t.Errorf("CSV emitted %d rows, want %d", len(rows), want)
 	}
 }
 

@@ -24,6 +24,12 @@ import (
 // Spec identifies one simulation: a workload under a scheme on a machine
 // configuration. SingleThread >= 0 runs that thread alone (the fairness
 // baseline); -1 runs the full SMT workload.
+//
+// The machine-shape fields (NumClusters, Links, LinkLatency, MemLatency)
+// sweep the back-end geometry; 0 inherits the runner's Shape default and
+// ultimately the Table 1 value (2 clusters, 2 one-cycle links, 60-cycle
+// memory). They feed configFor, so the content-addressed CacheKey
+// distinguishes shapes automatically.
 type Spec struct {
 	Workload     workload.Workload
 	Scheme       string
@@ -31,11 +37,79 @@ type Spec struct {
 	RegsPerClust int // 0 = unbounded
 	ROBPerThread int // 0 = unbounded
 	SingleThread int // -1 = SMT
+	NumClusters  int // 0 = shape/Table 1 default (2)
+	Links        int // 0 = shape/Table 1 default (2)
+	LinkLatency  int // cycles; 0 = shape/Table 1 default (1)
+	MemLatency   int // cycles; 0 = shape/Table 1 default (60)
 }
 
+// key identifies a spec for the session-local memo and singleflight maps.
+// The workload contributes a content digest, not just its name: a
+// hand-built Workload reusing a pool name with different seeds or profiles
+// must not collapse into the named workload's flight or recall its
+// content-addressed key (the same aliasing rule traceKey enforces for
+// trace memoization).
 func (s Spec) key() string {
-	return fmt.Sprintf("%s|%s|iq%d|rf%d|rob%d|st%d",
-		s.Workload.Name, s.Scheme, s.IQSize, s.RegsPerClust, s.ROBPerThread, s.SingleThread)
+	return fmt.Sprintf("%s@%x|%s|iq%d|rf%d|rob%d|st%d|c%d|lk%d|ll%d|ml%d",
+		s.Workload.Name, workloadDigest(s.Workload), s.Scheme,
+		s.IQSize, s.RegsPerClust, s.ROBPerThread, s.SingleThread,
+		s.NumClusters, s.Links, s.LinkLatency, s.MemLatency)
+}
+
+// workloadDigest hashes a workload's simulation-relevant content (seeds and
+// thread profiles; the name is carried separately for readability).
+func workloadDigest(w workload.Workload) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, s := range w.Seeds {
+		mix(s)
+	}
+	for _, p := range w.Threads {
+		fp := profileFingerprint(p)
+		for i := 0; i < len(fp); i += 8 {
+			var v uint64
+			for j := 0; j < 8; j++ {
+				v = v<<8 | uint64(fp[i+j])
+			}
+			mix(v)
+		}
+	}
+	return h
+}
+
+// MachineShape is a runner-level default machine geometry, applied to every
+// spec field left zero. Zero fields fall through to the Table 1 defaults.
+type MachineShape struct {
+	NumClusters int
+	Links       int
+	LinkLatency int
+	MemLatency  int
+}
+
+// overlay returns a with zero fields replaced from b.
+func overlayShape(a, b MachineShape) MachineShape {
+	if a.NumClusters == 0 {
+		a.NumClusters = b.NumClusters
+	}
+	if a.Links == 0 {
+		a.Links = b.Links
+	}
+	if a.LinkLatency == 0 {
+		a.LinkLatency = b.LinkLatency
+	}
+	if a.MemLatency == 0 {
+		a.MemLatency = b.MemLatency
+	}
+	return a
 }
 
 // Runner executes Specs with memoization and a bounded worker pool.
@@ -65,6 +139,11 @@ type Runner struct {
 	// Nil selects a private in-memory store on first use. Set it before the
 	// first Run call; it must not change afterwards.
 	Store ResultStore
+	// Shape is the default machine geometry for specs that leave their
+	// shape fields zero (expdriver's figure-mode -clusters/-links/
+	// -link-latency/-mem-latency flags land here). The zero value is the
+	// Table 1 machine. Set it before the first Run/CacheKey call.
+	Shape MachineShape
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -85,13 +164,28 @@ type flight struct {
 	err  error
 }
 
-// traceKey identifies one thread's materialized trace. The workload name
-// determines the profile and seed (package workload constructs them
-// deterministically from it), so (name, thread, length) is a complete key.
+// traceKey identifies one thread's materialized trace. A trace is a pure
+// function of (profile, seed, length); the workload name is deliberately
+// NOT part of the key's identity contract — a hand-built Workload may reuse
+// a pool name with different seeds or profiles, and keying on the name
+// alone would silently hand it the wrong cached trace. The seed and a
+// profile fingerprint make the key complete; the thread index only
+// disambiguates identical (profile, seed) pairs within one workload, which
+// would be the same trace anyway.
 type traceKey struct {
-	workload string
-	thread   int
-	length   int
+	seed    uint64
+	length  int
+	profile [sha256.Size]byte
+}
+
+// profileFingerprint digests a trace profile for trace memoization.
+func profileFingerprint(p trace.Profile) [sha256.Size]byte {
+	b, err := json.Marshal(p)
+	if err != nil {
+		// A profile is a flat struct of numbers; Marshal cannot fail.
+		panic(err)
+	}
+	return sha256.Sum256(b)
 }
 
 type traceEntry struct {
@@ -116,10 +210,10 @@ func NewRunner(traceLen int) *Runner {
 func (r *Runner) Executed() int64 { return r.executed.Load() }
 
 // traceFor returns thread i's materialized trace for w, generating it at
-// most once per (workload, thread, length) for the runner's lifetime. The
+// most once per (profile, seed, length) for the runner's lifetime. The
 // returned slice is shared; callers must treat it as immutable.
 func (r *Runner) traceFor(w workload.Workload, i int) []isa.Uop {
-	k := traceKey{workload: w.Name, thread: i, length: r.TraceLen}
+	k := traceKey{seed: w.Seeds[i], length: r.TraceLen, profile: profileFingerprint(w.Threads[i])}
 	r.traceMu.Lock()
 	if r.traces == nil {
 		r.traces = make(map[traceKey]*traceEntry)
@@ -155,7 +249,10 @@ func (r *Runner) buildPrograms(w workload.Workload, single int) []core.ThreadPro
 }
 
 // configFor returns the exact machine configuration execute builds for s.
-// CacheKey hashes it, so the two must stay in lockstep.
+// CacheKey hashes it, so the two must stay in lockstep. The spec's shape
+// fields override the runner's Shape, which overrides Table 1; a fully
+// default shape therefore produces a byte-identical canonical config (and
+// cache key) to the pre-shape-axis runner.
 func (r *Runner) configFor(s Spec) core.Config {
 	n := len(s.Workload.Threads)
 	if s.SingleThread >= 0 {
@@ -168,6 +265,24 @@ func (r *Runner) configFor(s Spec) core.Config {
 	cfg.ROBPerThread = s.ROBPerThread
 	cfg.MaxCycles = r.MaxCycles
 	cfg.WarmupUops = uint64(r.TraceLen / 5)
+	shape := overlayShape(MachineShape{
+		NumClusters: s.NumClusters,
+		Links:       s.Links,
+		LinkLatency: s.LinkLatency,
+		MemLatency:  s.MemLatency,
+	}, r.Shape)
+	if shape.NumClusters > 0 {
+		cfg.NumClusters = shape.NumClusters
+	}
+	if shape.Links > 0 {
+		cfg.Net.Links = shape.Links
+	}
+	if shape.LinkLatency > 0 {
+		cfg.Net.Latency = shape.LinkLatency
+	}
+	if shape.MemLatency > 0 {
+		cfg.Cache.MemLatency = shape.MemLatency
+	}
 	return cfg
 }
 

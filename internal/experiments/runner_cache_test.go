@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"clustersmt/internal/metrics"
+	"clustersmt/internal/trace"
 	"clustersmt/internal/workload"
 )
 
@@ -74,6 +75,97 @@ func TestRunnerTraceMemoized(t *testing.T) {
 	d := r2.traceFor(w, 0)
 	if len(d) != 2000 || len(a) != 1500 {
 		t.Fatalf("trace lengths %d/%d, want 2000/1500", len(d), len(a))
+	}
+}
+
+// TestRunnerTraceKeyedBySeedAndProfile pins the memoization bugfix: a
+// hand-built Workload that reuses a pool name with different seeds or a
+// different profile must NOT receive the named workload's cached trace.
+func TestRunnerTraceKeyedBySeedAndProfile(t *testing.T) {
+	r := NewRunner(1500)
+	w := workload.ByCategory("ispec00")[0]
+	orig := r.traceFor(w, 0)
+
+	reseeded := w
+	reseeded.Seeds = []uint64{w.Seeds[0] + 1, w.Seeds[1]}
+	if got := r.traceFor(reseeded, 0); &got[0] == &orig[0] {
+		t.Error("same name with a different seed was handed the cached trace")
+	}
+
+	reprofiled := w
+	reprofiled.Threads = append([]trace.Profile{}, w.Threads...)
+	reprofiled.Threads[0].DepP = w.Threads[0].DepP / 2
+	if got := r.traceFor(reprofiled, 0); &got[0] == &orig[0] {
+		t.Error("same name with a different profile was handed the cached trace")
+	}
+
+	// And the converse: an identical (profile, seed, length) under a new
+	// name still shares — the cache keys content, not names.
+	renamed := w
+	renamed.Name = w.Name + "-alias"
+	if got := r.traceFor(renamed, 0); &got[0] != &orig[0] {
+		t.Error("identical seed/profile under a new name regenerated the trace")
+	}
+}
+
+// TestRunnerSpecKeyedByWorkloadContent extends the aliasing rule to the
+// runner's session maps: a hand-built Workload reusing a pool name with
+// different seeds must not recall the pool workload's memoized cache key
+// or result.
+func TestRunnerSpecKeyedByWorkloadContent(t *testing.T) {
+	r := NewRunner(1200)
+	w := workload.ByCategory("ispec00")[0]
+	spec := iqStudySpec(w, "icount", 32)
+	a, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := w
+	alias.Seeds = []uint64{w.Seeds[0] + 1, w.Seeds[1] + 1}
+	aliasSpec := iqStudySpec(alias, "icount", 32)
+	if r.CacheKey(spec) == r.CacheKey(aliasSpec) {
+		t.Error("same-name workload with different seeds shares a content key")
+	}
+	b, err := r.Run(aliasSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("same-name workload with different seeds recalled the cached result")
+	}
+}
+
+// TestRunnerShapeChangesCacheKey: machine-shape spec fields must reach the
+// canonical config, giving every swept shape its own content-addressed key,
+// while the zero shape keeps the legacy key.
+func TestRunnerShapeChangesCacheKey(t *testing.T) {
+	r := NewRunner(1500)
+	w := workload.ByCategory("ispec00")[0]
+	base := iqStudySpec(w, "icount", 32)
+	seen := map[string]string{r.CacheKey(base): "zero shape"}
+	muts := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"clusters", func(s *Spec) { s.NumClusters = 3 }},
+		{"links", func(s *Spec) { s.Links = 1 }},
+		{"link latency", func(s *Spec) { s.LinkLatency = 4 }},
+		{"mem latency", func(s *Spec) { s.MemLatency = 300 }},
+	}
+	for _, m := range muts {
+		s := base
+		m.mut(&s)
+		k := r.CacheKey(s)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s shares a cache key with %s", m.name, prev)
+		}
+		seen[k] = m.name
+	}
+	// Explicit Table 1 values hash identically to the zero shape.
+	explicit := base
+	explicit.NumClusters, explicit.Links, explicit.LinkLatency, explicit.MemLatency = 2, 2, 1, 60
+	if r.CacheKey(explicit) != r.CacheKey(base) {
+		t.Error("explicit Table 1 shape produced a different key than the zero shape")
 	}
 }
 

@@ -110,7 +110,7 @@ func TestRunnerTreatsStoreErrorAsMiss(t *testing.T) {
 // layers above it, and only those.
 func TestLayeredBackfill(t *testing.T) {
 	fast, slow := NewMemStore(), NewMemStore()
-	st := metrics.NewStats(1)
+	st := metrics.NewStats(1, 2)
 	st.Cycles = 7
 	if err := slow.Put("k", st); err != nil {
 		t.Fatal(err)
@@ -132,7 +132,7 @@ func TestLayeredBackfill(t *testing.T) {
 func TestWriteOnly(t *testing.T) {
 	mem := NewMemStore()
 	w := WriteOnly(mem)
-	st := metrics.NewStats(1)
+	st := metrics.NewStats(1, 2)
 	if err := w.Put("k", st); err != nil {
 		t.Fatal(err)
 	}

@@ -26,15 +26,21 @@ type Network struct {
 	denied    uint64
 }
 
+// WithDefaults returns the configuration with zero fields replaced by the
+// Table 1 defaults — the exact values New would run with.
+func (c Config) WithDefaults() Config {
+	if c.Links <= 0 {
+		c.Links = DefaultConfig().Links
+	}
+	if c.Latency <= 0 {
+		c.Latency = DefaultConfig().Latency
+	}
+	return c
+}
+
 // New returns a network with cfg (zero fields take defaults).
 func New(cfg Config) *Network {
-	if cfg.Links <= 0 {
-		cfg.Links = DefaultConfig().Links
-	}
-	if cfg.Latency <= 0 {
-		cfg.Latency = DefaultConfig().Latency
-	}
-	return &Network{cfg: cfg}
+	return &Network{cfg: cfg.WithDefaults()}
 }
 
 // Config returns the configuration in use.

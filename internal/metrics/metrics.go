@@ -109,15 +109,16 @@ func (s *Stats) AvgIQOcc(c, t int) float64 {
 	return float64(s.IQOccSum[c][t]) / float64(s.Cycles)
 }
 
-// NewStats returns a Stats sized for n threads.
-func NewStats(n int) *Stats {
+// NewStats returns a Stats sized for n threads on a clusters-cluster
+// back-end (one IQOccSum row per actual cluster, not a hardcoded maximum).
+func NewStats(n, clusters int) *Stats {
 	st := &Stats{
 		Committed:             make([]uint64, n),
 		Fetched:               make([]uint64, n),
 		ThreadWindowCycles:    make([]int64, n),
 		ThreadWindowCommitted: make([]uint64, n),
 	}
-	for c := 0; c < 4; c++ {
+	for c := 0; c < clusters; c++ {
 		st.IQOccSum = append(st.IQOccSum, make([]int64, n))
 	}
 	return st

@@ -8,7 +8,7 @@ import (
 )
 
 func TestIPCAndThreadIPC(t *testing.T) {
-	s := NewStats(2)
+	s := NewStats(2, 2)
 	s.Cycles = 1000
 	s.Committed[0] = 1500
 	s.Committed[1] = 500
@@ -20,8 +20,29 @@ func TestIPCAndThreadIPC(t *testing.T) {
 	}
 }
 
+// TestIQOccSumSizedFromClusters pins the bugfix for the hardcoded 4-row
+// occupancy matrix: the stats shape must follow the machine's actual
+// cluster count, and out-of-range queries must stay safe.
+func TestIQOccSumSizedFromClusters(t *testing.T) {
+	for _, clusters := range []int{1, 2, 3, 4} {
+		s := NewStats(2, clusters)
+		if len(s.IQOccSum) != clusters {
+			t.Errorf("NewStats(2, %d): %d IQOccSum rows", clusters, len(s.IQOccSum))
+		}
+		for c, row := range s.IQOccSum {
+			if len(row) != 2 {
+				t.Errorf("clusters=%d: row %d has %d thread slots", clusters, c, len(row))
+			}
+		}
+		s.Cycles = 10
+		if got := s.AvgIQOcc(clusters, 0); got != 0 {
+			t.Errorf("AvgIQOcc past the last cluster = %v, want 0", got)
+		}
+	}
+}
+
 func TestZeroCycleSafety(t *testing.T) {
-	s := NewStats(1)
+	s := NewStats(1, 2)
 	if s.IPC() != 0 || s.ThreadIPC(0) != 0 || s.CopiesPerRetired() != 0 ||
 		s.IQStallsPerRetired() != 0 || s.ImbalanceFrac(ImbInt, 0) != 0 {
 		t.Error("zero-state metrics must be 0, not NaN")
@@ -29,7 +50,7 @@ func TestZeroCycleSafety(t *testing.T) {
 }
 
 func TestRatios(t *testing.T) {
-	s := NewStats(1)
+	s := NewStats(1, 2)
 	s.Cycles = 100
 	s.Committed[0] = 200
 	s.CopyTransfers = 50
@@ -43,7 +64,7 @@ func TestRatios(t *testing.T) {
 }
 
 func TestImbalanceFrac(t *testing.T) {
-	s := NewStats(1)
+	s := NewStats(1, 2)
 	s.IssueCycles = 200
 	s.Imbalance[ImbFp][1] = 50
 	if s.ImbalanceFrac(ImbFp, 1) != 0.25 {
@@ -58,7 +79,7 @@ func TestImbClassNames(t *testing.T) {
 }
 
 func TestAvgIQOcc(t *testing.T) {
-	s := NewStats(2)
+	s := NewStats(2, 2)
 	s.Cycles = 10
 	s.IQOccSum[1][0] = 55
 	if s.AvgIQOcc(1, 0) != 5.5 {
@@ -105,7 +126,7 @@ func TestWeightedSpeedup(t *testing.T) {
 }
 
 func TestStringMentionsKeyNumbers(t *testing.T) {
-	s := NewStats(1)
+	s := NewStats(1, 2)
 	s.Cycles = 100
 	s.Committed[0] = 321
 	out := s.String()

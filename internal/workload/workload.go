@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"clustersmt/internal/trace"
 	"clustersmt/internal/xrand"
@@ -327,41 +328,70 @@ func mixesPool() []Workload {
 	return out
 }
 
-// Pool returns all 120 two-threaded workloads of Table 2.
-func Pool() []Workload {
-	var out []Workload
+// The pool is a pure function of the category tables, but building it runs
+// the profile tuning and jitter PRNG for all 120 workloads (~240 traces),
+// and Find/ByCategory used to rebuild it on every call — a real cost for
+// campaign expansion, which validates every named workload. Build it once
+// and index it by name and category. Workload values share their inner
+// Threads/Seeds slices with the cache; callers must treat those as
+// read-only (campaign repetitions already copy before mutating).
+var poolCache struct {
+	once       sync.Once
+	all        []Workload
+	byName     map[string]Workload
+	byCategory map[string][]Workload
+}
+
+func buildPool() {
+	var all []Workload
 	for _, cat := range Categories {
 		switch cat {
 		case "isfs":
-			out = append(out, isfsPool()...)
+			all = append(all, isfsPool()...)
 		case "mixes":
-			out = append(out, mixesPool()...)
+			all = append(all, mixesPool()...)
 		default:
-			out = append(out, categoryPool(cat)...)
+			all = append(all, categoryPool(cat)...)
 		}
 	}
+	byName := make(map[string]Workload, len(all))
+	byCategory := make(map[string][]Workload, len(Categories))
+	for _, w := range all {
+		byName[w.Name] = w
+		byCategory[w.Category] = append(byCategory[w.Category], w)
+	}
+	poolCache.all = all
+	poolCache.byName = byName
+	poolCache.byCategory = byCategory
+}
+
+// Pool returns all 120 two-threaded workloads of Table 2. The returned
+// slice is the caller's to reorder; the elements share profile/seed slices
+// with the cached pool.
+func Pool() []Workload {
+	poolCache.once.Do(buildPool)
+	out := make([]Workload, len(poolCache.all))
+	copy(out, poolCache.all)
 	return out
 }
 
 // ByCategory returns the pool's workloads for one category key.
 func ByCategory(cat string) []Workload {
-	var out []Workload
-	for _, w := range Pool() {
-		if w.Category == cat {
-			out = append(out, w)
-		}
-	}
+	poolCache.once.Do(buildPool)
+	ws := poolCache.byCategory[cat]
+	out := make([]Workload, len(ws))
+	copy(out, ws)
 	return out
 }
 
 // Find returns the workload with the given name.
 func Find(name string) (Workload, error) {
-	for _, w := range Pool() {
-		if w.Name == name {
-			return w, nil
-		}
+	poolCache.once.Do(buildPool)
+	w, ok := poolCache.byName[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
 	}
-	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+	return w, nil
 }
 
 // Names returns all workload names, sorted.

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -128,6 +129,43 @@ func TestFind(t *testing.T) {
 	}
 	if _, err := Find("nope"); err == nil {
 		t.Error("Find of unknown workload should error")
+	}
+}
+
+// TestPoolCachedAndIsolated pins the once-built pool: repeated calls must
+// agree with the indexes, and the returned top-level slices must be
+// caller-owned (sorting one caller's copy cannot reorder another's).
+func TestPoolCachedAndIsolated(t *testing.T) {
+	a, b := Pool(), Pool()
+	if len(a) != len(b) {
+		t.Fatalf("Pool sizes differ: %d vs %d", len(a), len(b))
+	}
+	// Mutating one copy's order must not leak into a fresh call.
+	sort.Slice(a, func(i, j int) bool { return a[i].Name > a[j].Name })
+	c := Pool()
+	for i := range b {
+		if c[i].Name != b[i].Name {
+			t.Fatalf("caller sort leaked into the cached pool at %d: %s vs %s", i, c[i].Name, b[i].Name)
+		}
+	}
+	for _, w := range b {
+		got, err := Find(w.Name)
+		if err != nil || got.Name != w.Name || got.Category != w.Category {
+			t.Fatalf("Find(%s) = %v, %v", w.Name, got.Name, err)
+		}
+	}
+	total := 0
+	for _, cat := range Categories {
+		ws := ByCategory(cat)
+		total += len(ws)
+		for _, w := range ws {
+			if w.Category != cat {
+				t.Errorf("ByCategory(%s) returned %s", cat, w.Name)
+			}
+		}
+	}
+	if total != len(b) {
+		t.Errorf("category index covers %d workloads, pool has %d", total, len(b))
 	}
 }
 
