@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# check-doc-refs.sh — fail when DESIGN.md or README.md references a
+# repository path that does not exist, or when godoc references a
+# DESIGN.md section that is missing (the class of rot this repo had when
+# runner.go cited a DESIGN.md §4 that was never written).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. Path-shaped references in the docs must exist. Only paths under the
+#    tracked top-level trees are checked, so generated artifacts
+#    (out.csv, headline.json, ...) never false-positive.
+for doc in DESIGN.md README.md; do
+  for ref in $(grep -oE '(internal|cmd|examples|\.github)/[A-Za-z0-9_./-]*[A-Za-z0-9_]' "$doc" | sort -u); do
+    if [ ! -e "$ref" ]; then
+      echo "$doc references nonexistent path: $ref" >&2
+      fail=1
+    fi
+  done
+done
+
+# 2. Every "DESIGN.md §N" reference in Go sources must resolve to a
+#    "## §N" heading in DESIGN.md.
+for sec in $(grep -rhoE 'DESIGN\.md §[0-9]+' --include='*.go' . | grep -oE '[0-9]+' | sort -u); do
+  if ! grep -qE "^## §$sec " DESIGN.md; then
+    echo "Go sources reference DESIGN.md §$sec but DESIGN.md has no such section" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "doc references OK"
+fi
+exit "$fail"

@@ -3,7 +3,6 @@ package main
 import (
 	"fmt"
 	"os"
-	"strconv"
 	"time"
 
 	"clustersmt/internal/campaign"
@@ -74,7 +73,7 @@ func runCampaign(o campaignOpts) int {
 		}
 	}
 	if o.csvOut != "" {
-		if err := os.WriteFile(o.csvOut, []byte(report.CSV(csvHeader, csvRows(rs))), 0o644); err != nil {
+		if err := os.WriteFile(o.csvOut, []byte(report.CSV(campaign.CSVHeader(), rs.CSVRows())), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 			return 1
 		}
@@ -113,31 +112,6 @@ func campaignRows(m *campaign.Manifest, rs *campaign.ResultSet) [][]string {
 			row = append(row, f)
 		}
 		rows = append(rows, append(row, source))
-	}
-	return rows
-}
-
-var csvHeader = []string{
-	"label", "workload", "scheme", "iq_size", "regs_per_cluster", "rob_per_thread",
-	"trace_len", "rep", "single_thread",
-	"num_clusters", "links", "link_latency", "mem_latency",
-	"ipc", "copies_per_retired",
-	"iq_stalls_per_retired", "fairness", "cached", "error",
-}
-
-func csvRows(rs *campaign.ResultSet) [][]string {
-	var rows [][]string
-	for _, r := range rs.Results {
-		rows = append(rows, []string{
-			r.Label, r.Workload, r.Scheme,
-			strconv.Itoa(r.IQSize), strconv.Itoa(r.RegsPerClust), strconv.Itoa(r.ROBPerThread),
-			strconv.Itoa(r.TraceLen), strconv.Itoa(r.Rep), strconv.Itoa(r.SingleThread),
-			strconv.Itoa(r.NumClusters), strconv.Itoa(r.Links),
-			strconv.Itoa(r.LinkLatency), strconv.Itoa(r.MemLatency),
-			fmt.Sprintf("%g", r.IPC), fmt.Sprintf("%g", r.CopiesPerRet),
-			fmt.Sprintf("%g", r.IQStallsRet), fmt.Sprintf("%g", r.Fairness),
-			strconv.FormatBool(r.Cached), r.Error,
-		})
 	}
 	return rows
 }

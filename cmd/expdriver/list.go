@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersmt/internal/policy"
+	"clustersmt/internal/report"
+	"clustersmt/internal/workload"
+)
+
+// runSchemes implements `expdriver schemes`: the authoritative registry
+// listing the README's scheme table is checked against. Each row names the
+// scheme, its three policy components (instantiated, so the names are the
+// ones the simulator actually runs) and the paper reference.
+func runSchemes(args []string) int {
+	fs := flag.NewFlagSet("schemes", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: expdriver schemes\nlists every registered resource-assignment scheme")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	var rows [][]string
+	for _, name := range policy.Names() {
+		s, err := policy.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		sel, iq, rf := s.New(2)
+		rows = append(rows, []string{s.Name, sel.Name(), iq.Name(), rf.Name(), s.Ref, s.Desc})
+	}
+	fmt.Println(report.Table(fmt.Sprintf("Registered schemes (%d)", len(rows)),
+		[]string{"scheme", "selector", "iq policy", "rf policy", "paper", "description"}, rows))
+	return 0
+}
+
+// runWorkloads implements `expdriver workloads`: the Table 2 pool listing,
+// optionally restricted to one category.
+func runWorkloads(args []string) int {
+	fs := flag.NewFlagSet("workloads", flag.ExitOnError)
+	category := fs.String("category", "", "restrict to one Table 2 category")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: expdriver workloads [-category dh]\nlists the reconstructed Table 2 workload pool")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	pool := workload.Pool()
+	if *category != "" {
+		pool = workload.ByCategory(*category)
+		if len(pool) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown category %q (known: %v)\n", *category, workload.Categories)
+			return 1
+		}
+	}
+	var rows [][]string
+	for _, w := range pool {
+		rows = append(rows, []string{
+			w.Name, w.Category, workload.DisplayName(w.Category),
+			w.Type.String(), fmt.Sprintf("%d", len(w.Threads)),
+		})
+	}
+	fmt.Println(report.Table(fmt.Sprintf("Workload pool (%d workloads, %d categories)", len(rows), len(workload.Categories)),
+		[]string{"name", "category", "display", "type", "threads"}, rows))
+	return 0
+}

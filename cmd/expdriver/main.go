@@ -1,8 +1,9 @@
 // Command expdriver regenerates the paper's tables and figures (see
-// DESIGN.md §4 for the experiment index) and runs declarative experiment
-// campaigns. Each figure prints as a text table whose rows/series mirror
-// the paper's plot; -json additionally emits the machine-readable form the
-// CI figure-regression gate consumes.
+// DESIGN.md §4 for the experiment index), runs declarative experiment
+// campaigns, and serves campaigns as a long-running HTTP daemon. Each
+// figure prints as a text table whose rows/series mirror the paper's plot;
+// -json additionally emits the machine-readable form the CI
+// figure-regression gate consumes.
 //
 // Usage:
 //
@@ -16,6 +17,14 @@
 //	expdriver -manifest m.json -store .campaign          # persistent result store
 //
 //	expdriver diff -tol 0.02 old.json new.json           # compare result JSONs
+//
+//	expdriver serve -addr :8080 -store .campaign         # campaign service daemon
+//	expdriver submit -wait examples/campaign/iqsweep.json # POST a manifest to it
+//	expdriver status [job-id]                            # job list / per-item progress
+//	expdriver cancel job-id                              # stop a running campaign
+//
+//	expdriver schemes                                    # scheme registry listing
+//	expdriver workloads -category dh                     # Table 2 workload pool
 package main
 
 import (
@@ -34,8 +43,31 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "diff" {
-		os.Exit(runDiff(os.Args[2:]))
+	if len(os.Args) > 1 {
+		sub, rest := os.Args[1], os.Args[2:]
+		switch sub {
+		case "diff":
+			os.Exit(runDiff(rest))
+		case "serve":
+			os.Exit(runServe(rest))
+		case "submit":
+			os.Exit(runSubmit(rest))
+		case "status":
+			os.Exit(runStatus(rest))
+		case "cancel":
+			os.Exit(runCancel(rest))
+		case "schemes":
+			os.Exit(runSchemes(rest))
+		case "workloads":
+			os.Exit(runWorkloads(rest))
+		default:
+			// Only flags fall through to figure/campaign mode; a mistyped
+			// subcommand must not silently start the full experiment suite.
+			if !strings.HasPrefix(sub, "-") {
+				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|serve|submit|status|cancel|schemes|workloads; flags select figure/campaign mode)\n", sub)
+				os.Exit(2)
+			}
+		}
 	}
 	var (
 		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig9|fig10|headline|future|clusterscale|all")

@@ -1,6 +1,8 @@
 // Package cachesim models the paper's shared memory hierarchy (Table 1):
 // a 32 KB 2-way L1 with 2 read + 2 write ports and 1-cycle hit latency, a
-// 4 MB 8-way L2 with 12-cycle hit latency, main memory at 60 cycles, and a
+// 4 MB 8-way L2 with 12-cycle hit latency, main memory at 60 cycles (the
+// Table 1 default; MemLatency is a sweepable machine-shape axis, and the
+// core sizes its completion wheel from the configured worst case), and a
 // 1024-entry 8-way DTLB. Misses are tracked in MSHRs so that requests to a
 // line already in flight coalesce with the outstanding fill.
 //

@@ -1,0 +1,37 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// CSVHeader is the column set of the flat CSV form of a ResultSet, shared
+// by the expdriver -csv flag and the service's results endpoint.
+func CSVHeader() []string {
+	return []string{
+		"label", "workload", "scheme", "iq_size", "regs_per_cluster", "rob_per_thread",
+		"trace_len", "rep", "single_thread",
+		"num_clusters", "links", "link_latency", "mem_latency",
+		"ipc", "copies_per_retired",
+		"iq_stalls_per_retired", "fairness", "cached", "error",
+	}
+}
+
+// CSVRows renders the set's results as rows matching CSVHeader, in
+// expansion order.
+func (rs *ResultSet) CSVRows() [][]string {
+	rows := make([][]string, 0, len(rs.Results))
+	for _, r := range rs.Results {
+		rows = append(rows, []string{
+			r.Label, r.Workload, r.Scheme,
+			strconv.Itoa(r.IQSize), strconv.Itoa(r.RegsPerClust), strconv.Itoa(r.ROBPerThread),
+			strconv.Itoa(r.TraceLen), strconv.Itoa(r.Rep), strconv.Itoa(r.SingleThread),
+			strconv.Itoa(r.NumClusters), strconv.Itoa(r.Links),
+			strconv.Itoa(r.LinkLatency), strconv.Itoa(r.MemLatency),
+			fmt.Sprintf("%g", r.IPC), fmt.Sprintf("%g", r.CopiesPerRet),
+			fmt.Sprintf("%g", r.IQStallsRet), fmt.Sprintf("%g", r.Fairness),
+			strconv.FormatBool(r.Cached), r.Error,
+		})
+	}
+	return rows
+}

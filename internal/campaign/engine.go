@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -13,6 +14,12 @@ import (
 
 // Engine executes expanded campaigns on experiments runners, one per trace
 // length, all sharing one persistent store layer.
+//
+// An Engine may be shared: runners (and with them the in-memory result
+// layer, the singleflight tables and the trace memos) persist across RunCtx
+// calls, so concurrent campaigns submitted to one Engine — the service
+// daemon's configuration — deduplicate overlapping specs exactly once even
+// while both are in flight.
 type Engine struct {
 	// Store is the persistent result layer (typically *store.Store). Nil
 	// runs the campaign memory-only.
@@ -21,10 +28,31 @@ type Engine struct {
 	// when false, existing entries are ignored and overwritten, forcing
 	// every simulation to re-execute.
 	Resume bool
-	// Workers bounds simulation parallelism (0 = NumCPU).
+	// Workers bounds per-campaign simulation parallelism (0 = NumCPU).
 	Workers int
+	// Gate, when non-nil, additionally bounds total simulation concurrency
+	// across every campaign this engine runs (see experiments.Runner.Gate).
+	// The service shares one gate across its job executors.
+	Gate chan struct{}
 	// Verbose, when set, receives one line per completed simulation.
 	Verbose func(string)
+
+	mu      sync.Mutex
+	mem     *experiments.MemStore
+	runners map[int]*experiments.Runner
+}
+
+// ItemEvent reports one expanded item's lifecycle during RunCtx.
+type ItemEvent struct {
+	// Index addresses the item in the expansion (and the eventual
+	// ResultSet.Results slice).
+	Index int
+	// Started marks the pickup event; the completion event carries Result.
+	Started bool
+	// Result is the completed item's outcome (nil on Started events). It
+	// points into the ResultSet under construction and must be treated as
+	// read-only.
+	Result *Result
 }
 
 // Result is one item's outcome, machine-readable for the JSON/CSV emitters
@@ -66,45 +94,6 @@ type ResultSet struct {
 	Results   []Result `json:"results"`
 }
 
-// putSet tracks which keys the runners Put during this campaign. The
-// runner Puts exactly the results it executed (backfills happen inside
-// Layered, below the recording wrapper), so the set identifies fresh
-// executions; everything else a store answered for.
-type putSet struct {
-	mu sync.Mutex
-	m  map[string]bool
-}
-
-func newPutSet() *putSet { return &putSet{m: make(map[string]bool)} }
-
-func (p *putSet) add(key string) {
-	p.mu.Lock()
-	p.m[key] = true
-	p.mu.Unlock()
-}
-
-func (p *putSet) has(key string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.m[key]
-}
-
-// recordingStore wraps a runner's store, recording every Put into the
-// campaign-wide putSet.
-type recordingStore struct {
-	inner experiments.ResultStore
-	set   *putSet
-}
-
-func (r *recordingStore) Get(key string) (*metrics.Stats, bool, error) {
-	return r.inner.Get(key)
-}
-
-func (r *recordingStore) Put(key string, st *metrics.Stats) error {
-	r.set.add(key)
-	return r.inner.Put(key, st)
-}
-
 // baselinePoint identifies one single-thread baseline coordinate. The
 // machine shape participates: a baseline on a 1-cluster machine must not
 // answer for an SMT run on 4 clusters.
@@ -125,12 +114,76 @@ func pointOf(it Item, t int) baselinePoint {
 	}
 }
 
+// runnerFor returns the engine's shared runner for trace length tl,
+// creating it on first use: a fresh-layer MemStore in front of the
+// persistent store, sharing the engine's gate. With Resume disabled the
+// runner is NOT cached and writes through a read-blind persistent layer, so
+// every simulation re-executes while fresh results still land on disk.
+func (e *Engine) runnerFor(tl int) *experiments.Runner {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.Resume {
+		if r, ok := e.runners[tl]; ok {
+			return r
+		}
+	}
+	if e.mem == nil {
+		e.mem = experiments.NewMemStore()
+	}
+	r := experiments.NewRunner(tl)
+	r.Workers = e.Workers
+	r.Verbose = e.Verbose
+	r.Gate = e.Gate
+	if e.Resume {
+		layers := []experiments.ResultStore{e.mem}
+		if e.Store != nil {
+			layers = append(layers, e.Store)
+		}
+		r.Store = experiments.Layered(layers...)
+		if e.runners == nil {
+			e.runners = make(map[int]*experiments.Runner)
+		}
+		e.runners[tl] = r
+	} else {
+		layers := []experiments.ResultStore{experiments.NewMemStore()}
+		if e.Store != nil {
+			layers = append(layers, experiments.WriteOnly(e.Store))
+		}
+		r.Store = experiments.Layered(layers...)
+	}
+	return r
+}
+
+// Recycle drops the engine's cached runners and shared in-memory result
+// layer, releasing the trace memos and Stats they hold. Live campaigns are
+// unaffected — they keep references to their runners, which stay valid;
+// only future sharing starts cold. The service daemon calls this whenever
+// it goes idle so a long-running process's memory is bounded by one busy
+// period: with a persistent store underneath, the only cost is a disk read
+// per recalled key.
+func (e *Engine) Recycle() {
+	e.mu.Lock()
+	e.runners = nil
+	e.mem = nil
+	e.mu.Unlock()
+}
+
 // Run expands m and executes every item, recalling whatever the store
 // already holds. Simulation failures do not abort the campaign: failed
 // items carry their error and the set reports the partial tally, so an
 // interrupted or partly broken campaign still lands its completed results
 // (and a later -resume run executes only what is missing).
 func (e *Engine) Run(m *Manifest) (*ResultSet, error) {
+	return e.RunCtx(context.Background(), m, nil)
+}
+
+// RunCtx is Run with cooperative cancellation and optional per-item
+// progress reporting. Cancelling the context stops in-flight simulations
+// mid-run and fails the not-yet-started items with the context's error;
+// completed items keep their results, so a cancelled campaign still returns
+// the partial ResultSet. The progress callback (optional) is invoked from
+// worker goroutines and must be safe for concurrent use.
+func (e *Engine) RunCtx(ctx context.Context, m *Manifest, progress func(ItemEvent)) (*ResultSet, error) {
 	items, err := m.Expand()
 	if err != nil {
 		return nil, err
@@ -142,12 +195,9 @@ func (e *Engine) Run(m *Manifest) (*ResultSet, error) {
 		Results:  make([]Result, len(items)),
 	}
 
-	// One runner per trace length; all share the persistent layer through
-	// one recording wrapper so Cached attribution spans the whole campaign.
-	persist := e.Store
-	if persist != nil && !e.Resume {
-		persist = experiments.WriteOnly(persist)
-	}
+	// One runner per trace length; the engine shares runners (and their
+	// in-memory layer) across campaigns, so concurrent submissions of
+	// overlapping manifests singleflight into one execution per spec.
 	byLen := map[int][]int{}
 	for i, it := range items {
 		byLen[it.TraceLen] = append(byLen[it.TraceLen], i)
@@ -158,69 +208,63 @@ func (e *Engine) Run(m *Manifest) (*ResultSet, error) {
 	}
 	sort.Ints(lens)
 
-	executed := newPutSet()
-	runners := map[int]*experiments.Runner{}
-	for _, tl := range lens {
-		r := experiments.NewRunner(tl)
-		r.Workers = e.Workers
-		r.Verbose = e.Verbose
-		layers := []experiments.ResultStore{experiments.NewMemStore()}
-		if persist != nil {
-			layers = append(layers, persist)
-		}
-		r.Store = &recordingStore{inner: experiments.Layered(layers...), set: executed}
-		runners[tl] = r
-	}
-
 	for _, tl := range lens {
 		idxs := byLen[tl]
-		r := runners[tl]
+		r := e.runnerFor(tl)
 		specs := make([]experiments.Spec, len(idxs))
 		for j, i := range idxs {
 			specs[j] = items[i].Spec
 		}
-		stats, err := r.RunAll(specs)
-		_ = err // per-item errors are re-derived below; the set reports Failed
-		for j, i := range idxs {
-			it := items[i]
-			res := Result{
-				Label:        it.Label(),
-				Workload:     it.Base,
-				Scheme:       it.Spec.Scheme,
-				IQSize:       it.Spec.IQSize,
-				RegsPerClust: it.Spec.RegsPerClust,
-				ROBPerThread: it.Spec.ROBPerThread,
-				TraceLen:     it.TraceLen,
-				Rep:          it.Rep,
-				SingleThread: it.Spec.SingleThread,
-				NumClusters:  it.Spec.NumClusters,
-				Links:        it.Spec.Links,
-				LinkLatency:  it.Spec.LinkLatency,
-				MemLatency:   it.Spec.MemLatency,
-				Key:          r.CacheKey(it.Spec),
-			}
-			if st := stats[j]; st != nil {
-				res.Cached = !executed.has(res.Key)
-				res.IPC = st.IPC()
-				res.CopiesPerRet = st.CopiesPerRetired()
-				res.IQStallsRet = st.IQStallsPerRetired()
-				if it.Spec.SingleThread < 0 {
-					for t := range it.Spec.Workload.Threads {
-						res.ThreadIPC = append(res.ThreadIPC, st.ThreadIPC(t))
-					}
+		p := &experiments.Progress{
+			Finished: func(j int, st *metrics.Stats, executed bool, err error) {
+				i := idxs[j]
+				it := items[i]
+				res := Result{
+					Label:        it.Label(),
+					Workload:     it.Base,
+					Scheme:       it.Spec.Scheme,
+					IQSize:       it.Spec.IQSize,
+					RegsPerClust: it.Spec.RegsPerClust,
+					ROBPerThread: it.Spec.ROBPerThread,
+					TraceLen:     it.TraceLen,
+					Rep:          it.Rep,
+					SingleThread: it.Spec.SingleThread,
+					NumClusters:  it.Spec.NumClusters,
+					Links:        it.Spec.Links,
+					LinkLatency:  it.Spec.LinkLatency,
+					MemLatency:   it.Spec.MemLatency,
+					Key:          r.CacheKey(it.Spec),
 				}
-			} else {
-				// All runner errors are instant construction failures
-				// (p.Run itself cannot fail), so re-asking is cheap and
-				// yields the item-specific message.
-				if _, runErr := r.Run(it.Spec); runErr != nil {
-					res.Error = runErr.Error()
-				} else {
+				switch {
+				case err != nil:
+					res.Error = err.Error()
+				case st != nil:
+					res.Cached = !executed
+					res.IPC = st.IPC()
+					res.CopiesPerRet = st.CopiesPerRetired()
+					res.IQStallsRet = st.IQStallsPerRetired()
+					if it.Spec.SingleThread < 0 {
+						for t := range it.Spec.Workload.Threads {
+							res.ThreadIPC = append(res.ThreadIPC, st.ThreadIPC(t))
+						}
+					}
+				default:
 					res.Error = "simulation failed"
 				}
-			}
-			rs.Results[i] = res
+				rs.Results[i] = res
+				if progress != nil {
+					progress(ItemEvent{Index: i, Result: &rs.Results[i]})
+				}
+			},
 		}
+		if progress != nil {
+			p.Started = func(j int) {
+				progress(ItemEvent{Index: idxs[j], Started: true})
+			}
+		}
+		// Per-item errors already landed in the results via the callback;
+		// the set reports Failed below.
+		_, _ = r.RunAllCtx(ctx, specs, p)
 	}
 
 	if m.SingleThreadBaselines {

@@ -3,6 +3,11 @@
 // content-addressed results (internal/campaign/store), resumable execution
 // and cross-campaign diffing. It is the scale layer the figure harness
 // lacks: a new scenario is a JSON file, not bespoke figure code.
+//
+// The Engine is shareable and cancellable (RunCtx): runners persist across
+// campaigns so concurrent submissions deduplicate in flight, which is what
+// the service daemon (internal/campaign/service) builds on. See DESIGN.md
+// §6 for how engine, store and service layer together.
 package campaign
 
 import (

@@ -2,6 +2,13 @@
 // baseline machine (§3): the issue queue, the two physical register files
 // (integer and FP/SIMD) with their free lists and ready bits, and the three
 // issue ports (Table 1: P0 int/fp/simd, P1 int/fp/simd, P2 int/mem).
+//
+// Wakeup is event-driven (DESIGN.md §5): register files keep per-register
+// waiter lists (AddWaiter/RemoveWaiter) and broadcast on SetReady; issue
+// queues keep per-cluster age-ordered ready lists (MarkReady) that select
+// walks oldest-first, and slot handles make entry removal O(1). The
+// polling equivalent survives behind core.Config.PollingWakeup for the
+// equivalence tests and the wakeup ablation benchmark.
 package cluster
 
 import (

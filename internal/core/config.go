@@ -1,9 +1,11 @@
 // Package core implements the cycle-level model of the paper's baseline
 // machine (§3, Table 1): a monolithic SMT front-end (fetch, per-thread
-// queues, one-thread-per-cycle rename) feeding a two-cluster back-end
-// (issue queues, per-kind register files, three issue ports per cluster)
-// through dependence/workload steering with on-demand inter-cluster copies,
-// over a shared MOB and L1/L2/memory hierarchy.
+// queues, one-thread-per-cycle rename) feeding a clustered back-end
+// (issue queues, per-kind register files, three issue ports per cluster;
+// Table 1 has two clusters, Config.NumClusters sweeps 1–4) through
+// dependence/workload steering with on-demand inter-cluster copies, over a
+// shared MOB and L1/L2/memory hierarchy. See DESIGN.md §1 for the cycle
+// walkthrough and §5 for the design choices.
 //
 // The resource assignment schemes under study plug in as policy.Selector
 // (rename thread selection), policy.IQPolicy (issue-queue occupancy caps)

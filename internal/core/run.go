@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"clustersmt/internal/isa"
 	"clustersmt/internal/metrics"
 	"clustersmt/internal/policy"
@@ -101,15 +103,38 @@ func (p *Processor) resetStats() {
 	p.statsFwdBase = p.mobq.Forwards()
 }
 
+// cancelCheckInterval is how many cycles RunCtx simulates between context
+// polls. Checking a channel every cycle would be measurable in the hot
+// loop; at 8192 cycles the overhead is noise while cancellation still lands
+// within a fraction of a millisecond of wall time.
+const cancelCheckInterval = 8192
+
 // Run simulates until a thread finishes its trace (or all threads, with
 // RunToCompletion) or MaxCycles elapse, and returns the statistics.
 func (p *Processor) Run() *metrics.Stats {
+	st, _ := p.RunCtx(context.Background())
+	return st
+}
+
+// RunCtx is Run with cooperative cancellation: the context is polled every
+// cancelCheckInterval cycles, and a cancelled run stops mid-simulation and
+// returns the context's error alongside the (partial, unusable for
+// reporting) statistics. This is the stop path a campaign DELETE propagates
+// down through experiments.Runner.
+func (p *Processor) RunCtx(ctx context.Context) (*metrics.Stats, error) {
 	warming := p.cfg.WarmupUops > 0
 	for p.now < p.cfg.MaxCycles && !p.finished() {
 		p.Step()
 		if warming && p.warmupDone() {
 			warming = false
 			p.resetStats()
+		}
+		if p.now%cancelCheckInterval == 0 {
+			select {
+			case <-ctx.Done():
+				return p.stats, ctx.Err()
+			default:
+			}
 		}
 	}
 	p.stats.Cycles = p.now - p.statsCycleBase
@@ -122,7 +147,7 @@ func (p *Processor) Run() *metrics.Stats {
 			}
 		}
 	}
-	return p.stats
+	return p.stats, nil
 }
 
 // Done reports whether the run-termination condition holds.

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -144,6 +145,13 @@ type Runner struct {
 	// -link-latency/-mem-latency flags land here). The zero value is the
 	// Table 1 machine. Set it before the first Run/CacheKey call.
 	Shape MachineShape
+	// Gate, when non-nil, is acquired around every actual simulation (not
+	// store hits). Sharing one gate between runners bounds total simulation
+	// concurrency across them — the campaign service uses this so that
+	// concurrent jobs share one machine-wide worker budget instead of each
+	// bringing its own Workers-sized pool. Nil means Workers alone bounds
+	// parallelism.
+	Gate chan struct{}
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -344,19 +352,62 @@ func (r *Runner) computeKey(s Spec) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// execute runs one spec to completion (uncached).
-func (r *Runner) execute(s Spec) (*metrics.Stats, error) {
+// execute runs one spec to completion (uncached). A context cancellation
+// mid-simulation discards the partial run: it is not counted as executed
+// and never reaches the store.
+func (r *Runner) execute(ctx context.Context, s Spec) (*metrics.Stats, error) {
 	p, err := core.NewScheme(r.configFor(s), s.Scheme, r.buildPrograms(s.Workload, s.SingleThread))
 	if err != nil {
 		return nil, err
 	}
+	st, err := p.RunCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	r.executed.Add(1)
-	return p.Run(), nil
+	return st, nil
 }
 
 // Run executes (or recalls) one spec. Concurrent calls for the same spec
 // share a single execution; completed results are recalled from the store.
 func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
+	st, _, err := r.run(context.Background(), s)
+	return st, err
+}
+
+// RunCtx is Run with cooperative cancellation: a cancelled context stops
+// the simulation mid-run (the partial result is discarded, not stored) and
+// returns the context's error.
+func (r *Runner) RunCtx(ctx context.Context, s Spec) (*metrics.Stats, error) {
+	st, _, err := r.run(ctx, s)
+	return st, err
+}
+
+// run is the shared execution core. The executed return reports whether
+// THIS call ran the simulation: false for store hits and for singleflight
+// waiters (the flight owner reports true). Summing executed across
+// arbitrarily many concurrent callers therefore counts each distinct spec
+// exactly once — the property the campaign engine's Executed tally and the
+// service's cross-job deduplication test rely on.
+//
+// A cancellation error from the flight owner does NOT propagate to
+// waiters whose own context is still live: on a shared engine the owner
+// belongs to a different campaign, and its DELETE must not fail
+// overlapping items of uncancelled jobs — the waiter retries (typically
+// becoming the new owner) instead.
+func (r *Runner) run(ctx context.Context, s Spec) (st *metrics.Stats, executed bool, err error) {
+	for {
+		st, executed, err, retry := r.runOnce(ctx, s)
+		if !retry {
+			return st, executed, err
+		}
+	}
+}
+
+func (r *Runner) runOnce(ctx context.Context, s Spec) (st *metrics.Stats, executed bool, err error, retry bool) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err, false
+	}
 	k := s.key()
 	ck := r.CacheKey(s)
 	r.mu.Lock()
@@ -369,30 +420,52 @@ func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
 	store := r.Store
 	if f, ok := r.inflight[k]; ok {
 		r.mu.Unlock()
-		<-f.done
-		return f.st, f.err
+		select {
+		case <-f.done:
+			if ctxErr(f.err) && ctx.Err() == nil {
+				return nil, false, nil, true // owner's job canceled, not ours
+			}
+			return f.st, false, f.err, false
+		case <-ctx.Done():
+			return nil, false, ctx.Err(), false
+		}
 	}
 	// The store lookup happens under the lock so a miss and the inflight
 	// registration are atomic; the in-memory layer answers in O(1) and a
 	// cold disk read is dwarfed by the simulation it saves.
 	if st, ok, _ := store.Get(ck); ok {
 		r.mu.Unlock()
-		return st, nil
+		return st, false, nil, false
 	}
 	f := &flight{done: make(chan struct{})}
 	r.inflight[k] = f
 	r.mu.Unlock()
 
-	f.st, f.err = r.execute(s)
+	finish := func() {
+		r.mu.Lock()
+		delete(r.inflight, k)
+		r.mu.Unlock()
+		close(f.done)
+	}
+
+	if r.Gate != nil {
+		select {
+		case r.Gate <- struct{}{}:
+			defer func() { <-r.Gate }()
+		case <-ctx.Done():
+			f.err = ctx.Err()
+			finish()
+			return nil, false, f.err, false
+		}
+	}
+
+	f.st, f.err = r.execute(ctx, s)
 
 	var putErr error
 	if f.err == nil {
 		putErr = store.Put(ck, f.st)
 	}
-	r.mu.Lock()
-	delete(r.inflight, k)
-	r.mu.Unlock()
-	close(f.done)
+	finish()
 
 	if r.Verbose != nil {
 		if f.err == nil {
@@ -402,7 +475,24 @@ func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
 			r.Verbose(fmt.Sprintf("%-60s store put: %v", k, putErr))
 		}
 	}
-	return f.st, f.err
+	return f.st, f.err == nil, f.err, false
+}
+
+// ctxErr reports whether err is a context cancellation/deadline error.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Progress receives per-spec lifecycle callbacks from RunAllCtx. Both
+// callbacks are optional (nil fields are skipped) and are invoked from the
+// pool's worker goroutines, so implementations must be safe for concurrent
+// use. Finished's executed flag distinguishes a fresh simulation from a
+// store or singleflight hit (see run).
+type Progress struct {
+	// Started fires when a worker picks up spec i.
+	Started func(i int)
+	// Finished fires when spec i completes (successfully or not).
+	Finished func(i int, st *metrics.Stats, executed bool, err error)
 }
 
 // RunAll executes specs on a worker pool and returns stats in spec order.
@@ -410,6 +500,15 @@ func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
 // spec key — are aggregated with errors.Join, so callers get the partial
 // results alongside the combined failure.
 func (r *Runner) RunAll(specs []Spec) ([]*metrics.Stats, error) {
+	return r.RunAllCtx(context.Background(), specs, nil)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation and optional per-spec
+// progress reporting. Cancellation is immediate, not just between specs:
+// in-flight simulations stop at the next context poll, and specs not yet
+// started fail with the context's error. The worker pool always drains
+// fully before RunAllCtx returns.
+func (r *Runner) RunAllCtx(ctx context.Context, specs []Spec, p *Progress) ([]*metrics.Stats, error) {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -429,7 +528,14 @@ func (r *Runner) RunAll(specs []Spec) ([]*metrics.Stats, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				out[i], errs[i] = r.Run(specs[i])
+				if p != nil && p.Started != nil {
+					p.Started(i)
+				}
+				var executed bool
+				out[i], executed, errs[i] = r.run(ctx, specs[i])
+				if p != nil && p.Finished != nil {
+					p.Finished(i, out[i], executed, errs[i])
+				}
 			}
 		}()
 	}

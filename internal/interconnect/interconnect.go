@@ -1,8 +1,10 @@
-// Package interconnect models the point-to-point links between clusters
-// (Table 1: 2 links, 1-cycle latency). Inter-cluster communication happens
-// via copy uops generated on demand by the rename logic (§3); a ready copy
-// claims a link slot for one cycle and delivers its value to the destination
-// cluster's register file after the link latency.
+// Package interconnect models the point-to-point links between clusters.
+// Inter-cluster communication happens via copy uops generated on demand by
+// the rename logic (§3); a ready copy claims a link slot for one cycle and
+// delivers its value to the destination cluster's register file after the
+// link latency. Link count and latency default to Table 1 (2 links,
+// 1 cycle) and are sweepable machine-shape axes (`links`/`link_latency` in
+// campaign manifests, -links/-link-latency in expdriver figure mode).
 package interconnect
 
 // Config sizes the interconnect.

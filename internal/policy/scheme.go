@@ -9,6 +9,12 @@ import (
 type Scheme struct {
 	// Name is the paper's name for the scheme (lower-cased).
 	Name string
+	// Ref cites where the paper defines and evaluates the scheme
+	// (table / section), so listings and docs stay traceable to the source.
+	Ref string
+	// Desc is a one-line description for `expdriver schemes` and the
+	// README registry table.
+	Desc string
 	// Selector constructs the rename thread-selection policy for n threads.
 	Selector func(n int) Selector
 	// IQ constructs the issue-queue occupancy policy.
@@ -24,22 +30,34 @@ func (s Scheme) New(n int) (Selector, IQPolicy, RFPolicy) {
 
 var registry = map[string]Scheme{
 	// §5.1, Table 3: issue-queue schemes (RF unmanaged).
-	"icount": {Name: "icount", Selector: NewIcount, IQ: NewUnrestricted, RF: NewNoRF},
-	"stall":  {Name: "stall", Selector: NewStall, IQ: NewUnrestricted, RF: NewNoRF},
-	"flush+": {Name: "flush+", Selector: NewFlushPlus, IQ: NewUnrestricted, RF: NewNoRF},
-	"cisp":   {Name: "cisp", Selector: NewIcount, IQ: NewCISP, RF: NewNoRF},
-	"cssp":   {Name: "cssp", Selector: NewIcount, IQ: NewCSSP, RF: NewNoRF},
-	"cspsp":  {Name: "cspsp", Selector: NewIcount, IQ: NewCSPSP, RF: NewNoRF},
-	"pc":     {Name: "pc", Selector: NewIcount, IQ: NewPC, RF: NewNoRF},
+	"icount": {Name: "icount", Ref: "§5.1 Table 3", Desc: "baseline fetch policy; no IQ/RF occupancy bounds",
+		Selector: NewIcount, IQ: NewUnrestricted, RF: NewNoRF},
+	"stall": {Name: "stall", Ref: "§5.1 Table 3", Desc: "gate a thread's fetch while it has an L2 miss outstanding",
+		Selector: NewStall, IQ: NewUnrestricted, RF: NewNoRF},
+	"flush+": {Name: "flush+", Ref: "§5.1 Table 3", Desc: "flush an L2-missing thread's in-flight instructions and stall it",
+		Selector: NewFlushPlus, IQ: NewUnrestricted, RF: NewNoRF},
+	"cisp": {Name: "cisp", Ref: "§5.1 Table 3", Desc: "cluster-insensitive static partition: cap a thread's total IQ share",
+		Selector: NewIcount, IQ: NewCISP, RF: NewNoRF},
+	"cssp": {Name: "cssp", Ref: "§5.1 Table 3", Desc: "cluster-sensitive static partition: cap a thread's IQ share per cluster",
+		Selector: NewIcount, IQ: NewCSSP, RF: NewNoRF},
+	"cspsp": {Name: "cspsp", Ref: "§5.1 Table 3", Desc: "cluster-sensitive partial static partition: per-cluster cap on a fraction",
+		Selector: NewIcount, IQ: NewCSPSP, RF: NewNoRF},
+	"pc": {Name: "pc", Ref: "§5.1 Table 3", Desc: "private clusters: each thread owns a subset of the clusters",
+		Selector: NewIcount, IQ: NewPC, RF: NewNoRF},
 
 	// §5.2, Table 4: register-file schemes layered on CSSP.
-	"cssprf": {Name: "cssprf", Selector: NewIcount, IQ: NewCSSP, RF: NewCSSPRF},
-	"cisprf": {Name: "cisprf", Selector: NewIcount, IQ: NewCSSP, RF: NewCISPRF},
-	"cdprf":  {Name: "cdprf", Selector: NewIcount, IQ: NewCSSP, RF: NewCDPRF},
+	"cssprf": {Name: "cssprf", Ref: "§5.2 Table 4", Desc: "CSSP plus a cluster-sensitive static register partition",
+		Selector: NewIcount, IQ: NewCSSP, RF: NewCSSPRF},
+	"cisprf": {Name: "cisprf", Ref: "§5.2 Table 4", Desc: "CSSP plus a cluster-insensitive static register partition",
+		Selector: NewIcount, IQ: NewCSSP, RF: NewCISPRF},
+	"cdprf": {Name: "cdprf", Ref: "§5.2 Figs. 7–8", Desc: "CSSP plus the proposed dynamic register partition (the paper's best)",
+		Selector: NewIcount, IQ: NewCSSP, RF: NewCDPRF},
 
 	// §6 future work, implemented as extensions (see future.go).
-	"dcra":      {Name: "dcra", Selector: NewIcount, IQ: NewDCRAIQ, RF: NewDCRARF},
-	"hillclimb": {Name: "hillclimb", Selector: NewIcount, IQ: NewHillClimbIQ, RF: NewNoRF},
+	"dcra": {Name: "dcra", Ref: "§6 ext. [30]", Desc: "cluster-aware DCRA: activity-scaled dynamic IQ and RF shares",
+		Selector: NewIcount, IQ: NewDCRAIQ, RF: NewDCRARF},
+	"hillclimb": {Name: "hillclimb", Ref: "§6 ext. [32]", Desc: "hill-climbing per-cluster IQ shares, moving along the IPC gradient",
+		Selector: NewIcount, IQ: NewHillClimbIQ, RF: NewNoRF},
 }
 
 // Lookup returns the scheme registered under name.

@@ -1,0 +1,140 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"clustersmt/internal/campaign"
+)
+
+var update = flag.Bool("update", false, "rewrite the emitter golden files")
+
+// sampleResultSet is a fixed two-item campaign result covering the quoting
+// and formatting edge cases: fractional metrics, a fairness value, an error
+// item and a label. Field values are arbitrary but frozen — the goldens
+// under testdata/ pin the exact emitted bytes.
+func sampleResultSet() *campaign.ResultSet {
+	return &campaign.ResultSet{
+		Campaign:  "golden",
+		Version:   "smtsim-test",
+		Total:     2,
+		Executed:  1,
+		StoreHits: 0,
+		Failed:    1,
+		Results: []campaign.Result{
+			{
+				Label: "dh.ilp.2.1|icount|iq32|rf0|rob0|len2000|r0|st-1", Workload: "dh.ilp.2.1",
+				Scheme: "icount", IQSize: 32, TraceLen: 2000, SingleThread: -1,
+				NumClusters: 2, Links: 2, LinkLatency: 1, MemLatency: 60,
+				Key: "0123456789abcdef", IPC: 1.8703812316715542,
+				CopiesPerRet: 0.19316400125431168, IQStallsRet: 0.429601756036375,
+				ThreadIPC: []float64{0.9, 0.97}, Fairness: 0.875,
+			},
+			{
+				Label: "dh.mem.2.1|cssp|iq8|rf0|rob0|len2000|r0|st-1", Workload: "dh.mem.2.1",
+				Scheme: "cssp", IQSize: 8, TraceLen: 2000, SingleThread: -1,
+				NumClusters: 2, Links: 2, LinkLatency: 1, MemLatency: 60,
+				Error: `config: iq size 8 below minimum, "quoted"`,
+			},
+		},
+	}
+}
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/report -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestResultSetJSONGolden pins the exact JSON a campaign ResultSet emits
+// and proves the document round-trips back into an equal value — the
+// contract the CI figure gate, `expdriver diff` and the service's results
+// endpoint all rely on.
+func TestResultSetJSONGolden(t *testing.T) {
+	rs := sampleResultSet()
+	b, err := JSON(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "resultset.json", b)
+
+	back := &campaign.ResultSet{}
+	if err := json.Unmarshal(b, back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, back) {
+		t.Errorf("round trip diverged:\n%+v\n%+v", rs, back)
+	}
+}
+
+// TestResultSetCSVGolden pins the flat CSV form (shared header in
+// campaign.CSVHeader) and proves it parses back row-for-row.
+func TestResultSetCSVGolden(t *testing.T) {
+	rs := sampleResultSet()
+	out := CSV(campaign.CSVHeader(), rs.CSVRows())
+	golden(t, "resultset.csv", []byte(out))
+
+	rows, err := csv.NewReader(bytes.NewReader([]byte(out))).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(rs.Results) {
+		t.Fatalf("rows = %d, want %d", len(rows), 1+len(rs.Results))
+	}
+	if !reflect.DeepEqual(rows[0], campaign.CSVHeader()) {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != rs.Results[0].Label || rows[2][18] != rs.Results[1].Error {
+		t.Errorf("cells did not round-trip: %v", rows)
+	}
+}
+
+// TestWriteJSONStreaming: the io.Writer path the service results endpoint
+// uses must emit byte-identical output to the buffered JSON form.
+func TestWriteJSONStreaming(t *testing.T) {
+	rs := sampleResultSet()
+	want, err := JSON(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("streamed JSON differs from buffered JSON:\n%s\nvs\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteCSVStreaming: same contract for the CSV path.
+func TestWriteCSVStreaming(t *testing.T) {
+	rs := sampleResultSet()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, campaign.CSVHeader(), rs.CSVRows()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), CSV(campaign.CSVHeader(), rs.CSVRows()); got != want {
+		t.Errorf("streamed CSV differs:\n%q\nvs\n%q", got, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 )
@@ -74,6 +75,15 @@ func JSON(v any) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// WriteJSON streams v to w in the same stable indented form as JSON. This
+// is the path the campaign service's results endpoint uses: the document is
+// written directly to the response writer, never buffered whole.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v) // Encode appends the trailing newline itself
+}
+
 // WriteJSONFile emits v as JSON to path.
 func WriteJSONFile(path string, v any) error {
 	b, err := JSON(v)
@@ -83,12 +93,22 @@ func WriteJSONFile(path string, v any) error {
 	return os.WriteFile(path, b, 0o644)
 }
 
-// CSV renders a header and rows as RFC 4180 CSV (CRLF-free: one \n per
-// record, fields quoted only when they need it).
+// WriteCSV streams a header and rows to w as RFC 4180 CSV (CRLF-free: one
+// \n per record, fields quoted only when they need it).
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil { // flushes
+		return err
+	}
+	return cw.Error()
+}
+
+// CSV renders a header and rows as a CSV string (see WriteCSV).
 func CSV(header []string, rows [][]string) string {
 	var b strings.Builder
-	w := csv.NewWriter(&b)
-	w.Write(header)
-	w.WriteAll(rows) // flushes; a strings.Builder writer cannot fail
+	WriteCSV(&b, header, rows) // a strings.Builder writer cannot fail
 	return b.String()
 }
