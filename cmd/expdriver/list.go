@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"clustersmt/internal/policy"
 	"clustersmt/internal/report"
@@ -12,27 +13,74 @@ import (
 
 // runSchemes implements `expdriver schemes`: the authoritative registry
 // listing the README's scheme table is checked against. Each row names the
-// scheme, its three policy components (instantiated, so the names are the
-// ones the simulator actually runs) and the paper reference.
+// scheme, its three policy components and the paper reference; -json emits
+// the machine-readable form (policy.SchemeInfo) the CI cross-check
+// consumes.
 func runSchemes(args []string) int {
 	fs := flag.NewFlagSet("schemes", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the registry as JSON instead of a table")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: expdriver schemes\nlists every registered resource-assignment scheme")
+		fmt.Fprintln(os.Stderr, "usage: expdriver schemes [-json]\nlists every registered resource-assignment scheme")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
-	var rows [][]string
-	for _, name := range policy.Names() {
-		s, err := policy.Lookup(name)
-		if err != nil {
+	infos := policy.SchemeInfos()
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout, infos); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		sel, iq, rf := s.New(2)
-		rows = append(rows, []string{s.Name, sel.Name(), iq.Name(), rf.Name(), s.Ref, s.Desc})
+		return 0
+	}
+	var rows [][]string
+	for _, s := range infos {
+		rows = append(rows, []string{s.Name, s.Selector, s.IQ, s.RF, s.Ref, s.Desc})
 	}
 	fmt.Println(report.Table(fmt.Sprintf("Registered schemes (%d)", len(rows)),
 		[]string{"scheme", "selector", "iq policy", "rf policy", "paper", "description"}, rows))
+	fmt.Println("compose unregistered combinations with the spec grammar: sel=<selector>,iq=<iq policy>,rf=<rf policy>")
+	fmt.Println("(parameters attach as :name=value, e.g. sel=stall,iq=cspsp:frac=0.4,rf=cdprf — see `expdriver components`)")
+	return 0
+}
+
+// runComponents implements `expdriver components`: the three policy
+// component registries the scheme-spec grammar composes, with their typed
+// parameters; -json emits policy.ComponentSet (the same document GET
+// /v1/components serves).
+func runComponents(args []string) int {
+	fs := flag.NewFlagSet("components", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the component registries as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: expdriver components [-json]\nlists the selector / IQ-policy / RF-policy component registries")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	set := policy.Components()
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout, set); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	var rows [][]string
+	add := func(kind string, cs []policy.Component) {
+		for _, c := range cs {
+			var params []string
+			for _, p := range c.Params {
+				params = append(params, fmt.Sprintf("%s=%g [%g,%g]", p.Name, p.Default, p.Min, p.Max))
+			}
+			rows = append(rows, []string{kind, c.Name, strings.Join(params, " "), c.Ref, c.Desc})
+		}
+	}
+	add("sel", set.Selectors)
+	add("iq", set.IQ)
+	add("rf", set.RF)
+	fmt.Println(report.Table(fmt.Sprintf("Scheme components (%d selectors, %d IQ policies, %d RF policies)",
+		len(set.Selectors), len(set.IQ), len(set.RF)),
+		[]string{"kind", "component", "params (default [min,max])", "paper", "description"}, rows))
+	fmt.Println("spec grammar: sel=<selector>,iq=<iq policy>,rf=<rf policy>, params as :name=value")
+	fmt.Println("example: sel=stall,iq=cspsp:frac=0.4,rf=cdprf:interval=32768")
 	return 0
 }
 

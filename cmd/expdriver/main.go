@@ -23,8 +23,13 @@
 //	expdriver status [job-id]                            # job list / per-item progress
 //	expdriver cancel job-id                              # stop a running campaign
 //
-//	expdriver schemes                                    # scheme registry listing
+//	expdriver schemes [-json]                            # scheme registry listing
+//	expdriver components [-json]                         # selector/IQ/RF component registries
 //	expdriver workloads -category dh                     # Table 2 workload pool
+//
+// Scheme-parameterized figures accept composed scheme specs:
+//
+//	expdriver -exp fig3 -scheme 'sel=stall,iq=cssp,rf=cdprf' -quick
 package main
 
 import (
@@ -58,17 +63,21 @@ func main() {
 			os.Exit(runCancel(rest))
 		case "schemes":
 			os.Exit(runSchemes(rest))
+		case "components":
+			os.Exit(runComponents(rest))
 		case "workloads":
 			os.Exit(runWorkloads(rest))
 		default:
 			// Only flags fall through to figure/campaign mode; a mistyped
 			// subcommand must not silently start the full experiment suite.
 			if !strings.HasPrefix(sub, "-") {
-				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|serve|submit|status|cancel|schemes|workloads; flags select figure/campaign mode)\n", sub)
+				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|serve|submit|status|cancel|schemes|components|workloads; flags select figure/campaign mode)\n", sub)
 				os.Exit(2)
 			}
 		}
 	}
+	var schemeFlags schemeList
+	flag.Var(&schemeFlags, "scheme", "override the scheme list of scheme-parameterized figures; a named scheme or a full spec (sel=...,iq=...,rf=...); repeatable")
 	var (
 		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig9|fig10|headline|future|clusterscale|all")
 		traceLen   = flag.Int("len", 60000, "trace length per thread (uops)")
@@ -107,7 +116,7 @@ func main() {
 		// than silently ignore an explicitly set flag.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "exp", "len", "quick", "categories",
+			case "exp", "len", "quick", "categories", "scheme",
 				"clusters", "links", "link-latency", "mem-latency":
 				fmt.Fprintf(os.Stderr, "warning: -%s is ignored with -manifest (the manifest defines the sweep)\n", f.Name)
 			}
@@ -143,6 +152,10 @@ func main() {
 		o.Categories = strings.Split(*cats, ",")
 	}
 
+	if len(schemeFlags) > 0 && (*exp == "headline" || *exp == "future") {
+		fmt.Fprintf(os.Stderr, "warning: -scheme is ignored by -exp %s (fixed scheme set)\n", *exp)
+	}
+
 	start := time.Now()
 	emitted := map[string]any{}
 	run := func(name string, fn func() (any, error)) {
@@ -158,20 +171,20 @@ func main() {
 		emitted[name] = v
 	}
 
-	run("fig2", func() (any, error) { return fig2(r, o) })
-	run("fig3", func() (any, error) { return figMetric(r, o, 3) })
-	run("fig4", func() (any, error) { return figMetric(r, o, 4) })
-	run("fig5", func() (any, error) { return fig5(r, o) })
-	run("fig6", func() (any, error) { return fig6(r, o) })
-	run("fig9", func() (any, error) { return fig9(r, o) })
-	run("fig10", func() (any, error) { return fig10(r, o) })
+	run("fig2", func() (any, error) { return fig2(r, o, schemeFlags) })
+	run("fig3", func() (any, error) { return figMetric(r, o, 3, schemeFlags) })
+	run("fig4", func() (any, error) { return figMetric(r, o, 4, schemeFlags) })
+	run("fig5", func() (any, error) { return fig5(r, o, schemeFlags) })
+	run("fig6", func() (any, error) { return fig6(r, o, schemeFlags) })
+	run("fig9", func() (any, error) { return fig9(r, o, schemeFlags) })
+	run("fig10", func() (any, error) { return fig10(r, o, schemeFlags) })
 	run("headline", func() (any, error) { return headline(r, o) })
 	run("future", func() (any, error) { return future(r, o) })
 	run("clusterscale", func() (any, error) {
 		if *clusters != 0 {
 			fmt.Fprintln(os.Stderr, "warning: -clusters is ignored by -exp clusterscale (the figure sweeps its own cluster axis)")
 		}
-		return clusterScale(r, o, *csvOut)
+		return clusterScale(r, o, schemeFlags, *csvOut)
 	})
 	if *jsonOut != "" {
 		if err := report.WriteJSONFile(*jsonOut, emitted); err != nil {
@@ -180,6 +193,32 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+// schemeList collects repeated -scheme flags. Each value is validated and
+// canonicalized at parse time, so `-scheme sel=icount,iq=cssp,rf=cdprf`
+// and `-scheme cdprf` produce identical series (and share cached runs).
+type schemeList []string
+
+// String implements flag.Value.
+func (s *schemeList) String() string { return strings.Join(*s, " ") }
+
+// Set implements flag.Value.
+func (s *schemeList) Set(v string) error {
+	canon, err := policy.CanonicalScheme(v)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, canon)
+	return nil
+}
+
+// or returns the override list when -scheme was given, else def.
+func (s schemeList) or(def []string) []string {
+	if len(s) > 0 {
+		return []string(s)
+	}
+	return def
 }
 
 func seriesTable(title string, cs *experiments.CategorySeries, seriesOrder []string) {
@@ -195,8 +234,8 @@ func seriesTable(title string, cs *experiments.CategorySeries, seriesOrder []str
 	fmt.Println(report.Table(title, header, rows))
 }
 
-func fig2(r *experiments.Runner, o experiments.Options) (any, error) {
-	schemes := policy.PaperIQSchemes()
+func fig2(r *experiments.Runner, o experiments.Options, sf schemeList) (any, error) {
+	schemes := sf.or(policy.PaperIQSchemes())
 	cs, err := experiments.Fig2(r, o, schemes, []int{32, 64})
 	if err != nil {
 		return nil, err
@@ -211,8 +250,8 @@ func fig2(r *experiments.Runner, o experiments.Options) (any, error) {
 	return cs, nil
 }
 
-func figMetric(r *experiments.Runner, o experiments.Options, fig int) (any, error) {
-	schemes := policy.PaperIQSchemes()
+func figMetric(r *experiments.Runner, o experiments.Options, fig int, sf schemeList) (any, error) {
+	schemes := sf.or(policy.PaperIQSchemes())
 	var cs *experiments.CategorySeries
 	var err error
 	var title string
@@ -230,8 +269,8 @@ func figMetric(r *experiments.Runner, o experiments.Options, fig int) (any, erro
 	return cs, nil
 }
 
-func fig5(r *experiments.Runner, o experiments.Options) (any, error) {
-	schemes := []string{"icount", "cisp", "cssp", "pc"}
+func fig5(r *experiments.Runner, o experiments.Options, sf schemeList) (any, error) {
+	schemes := sf.or([]string{"icount", "cisp", "cssp", "pc"})
 	res, err := experiments.Fig5(r, o, schemes)
 	if err != nil {
 		return nil, err
@@ -259,8 +298,8 @@ func fig5(r *experiments.Runner, o experiments.Options) (any, error) {
 	return res, nil
 }
 
-func fig6(r *experiments.Runner, o experiments.Options) (any, error) {
-	schemes := policy.PaperRFSchemes()
+func fig6(r *experiments.Runner, o experiments.Options, sf schemeList) (any, error) {
+	schemes := sf.or(policy.PaperRFSchemes())
 	cs, err := experiments.Fig6(r, o, schemes, []int{64, 128})
 	if err != nil {
 		return nil, err
@@ -275,8 +314,8 @@ func fig6(r *experiments.Runner, o experiments.Options) (any, error) {
 	return cs, nil
 }
 
-func fig9(r *experiments.Runner, o experiments.Options) (any, error) {
-	schemes := []string{"cssp", "cssprf", "cisprf", "cdprf"}
+func fig9(r *experiments.Runner, o experiments.Options, sf schemeList) (any, error) {
+	schemes := sf.or([]string{"cssp", "cssprf", "cisprf", "cdprf"})
 	res, err := experiments.Fig9(r, o, schemes)
 	if err != nil {
 		return nil, err
@@ -294,8 +333,8 @@ func fig9(r *experiments.Runner, o experiments.Options) (any, error) {
 	return res, nil
 }
 
-func fig10(r *experiments.Runner, o experiments.Options) (any, error) {
-	schemes := []string{"stall", "flush+", "cssp", "cdprf"}
+func fig10(r *experiments.Runner, o experiments.Options, sf schemeList) (any, error) {
+	schemes := sf.or([]string{"stall", "flush+", "cssp", "cdprf"})
 	cs, err := experiments.Fig10(r, o, schemes)
 	if err != nil {
 		return nil, err
@@ -320,8 +359,8 @@ func headline(r *experiments.Runner, o experiments.Options) (any, error) {
 	return h, nil
 }
 
-func clusterScale(r *experiments.Runner, o experiments.Options, csvOut string) (any, error) {
-	schemes := experiments.ClusterScaleSchemes()
+func clusterScale(r *experiments.Runner, o experiments.Options, sf schemeList, csvOut string) (any, error) {
+	schemes := sf.or(experiments.ClusterScaleSchemes())
 	counts := experiments.ClusterScaleCounts()
 	res, err := experiments.ClusterScaling(r, o, schemes, counts)
 	if err != nil {

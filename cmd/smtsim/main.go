@@ -22,7 +22,7 @@ import (
 func main() {
 	var (
 		wlName   = flag.String("workload", "ispec00.mix.2.1", "workload name from the Table 2 pool")
-		scheme   = flag.String("scheme", "cdprf", "resource assignment scheme")
+		scheme   = flag.String("scheme", "cdprf", "resource assignment scheme: a registered name or a composed spec (sel=...,iq=...,rf=...)")
 		iq       = flag.Int("iq", 32, "issue-queue entries per cluster (32 or 64 in the paper)")
 		regs     = flag.Int("regs", 64, "physical registers per kind per cluster (0 = unbounded)")
 		rob      = flag.Int("rob", 128, "ROB entries per thread (0 = unbounded)")

@@ -9,7 +9,7 @@ import (
 // by the expdriver -csv flag and the service's results endpoint.
 func CSVHeader() []string {
 	return []string{
-		"label", "workload", "scheme", "iq_size", "regs_per_cluster", "rob_per_thread",
+		"label", "workload", "scheme", "scheme_spec", "iq_size", "regs_per_cluster", "rob_per_thread",
 		"trace_len", "rep", "single_thread",
 		"num_clusters", "links", "link_latency", "mem_latency",
 		"ipc", "copies_per_retired",
@@ -23,7 +23,7 @@ func (rs *ResultSet) CSVRows() [][]string {
 	rows := make([][]string, 0, len(rs.Results))
 	for _, r := range rs.Results {
 		rows = append(rows, []string{
-			r.Label, r.Workload, r.Scheme,
+			r.Label, r.Workload, r.Scheme, r.SchemeSpec,
 			strconv.Itoa(r.IQSize), strconv.Itoa(r.RegsPerClust), strconv.Itoa(r.ROBPerThread),
 			strconv.Itoa(r.TraceLen), strconv.Itoa(r.Rep), strconv.Itoa(r.SingleThread),
 			strconv.Itoa(r.NumClusters), strconv.Itoa(r.Links),

@@ -10,6 +10,7 @@ import (
 	"clustersmt/internal/core"
 	"clustersmt/internal/experiments"
 	"clustersmt/internal/metrics"
+	"clustersmt/internal/policy"
 )
 
 // Engine executes expanded campaigns on experiments runners, one per trace
@@ -58,9 +59,14 @@ type ItemEvent struct {
 // Result is one item's outcome, machine-readable for the JSON/CSV emitters
 // and for Diff.
 type Result struct {
-	Label        string    `json:"label"`
-	Workload     string    `json:"workload"`
+	Label    string `json:"label"`
+	Workload string `json:"workload"`
+	// Scheme is the canonical scheme reference (a paper name, or the
+	// normalized component grammar for composed specs); SchemeSpec echoes
+	// the full sel/iq/rf composition for both, so result rows are
+	// self-describing without the named registry at hand.
 	Scheme       string    `json:"scheme"`
+	SchemeSpec   string    `json:"scheme_spec,omitempty"`
 	IQSize       int       `json:"iq_size"`
 	RegsPerClust int       `json:"regs_per_cluster"`
 	ROBPerThread int       `json:"rob_per_thread"`
@@ -92,6 +98,17 @@ type ResultSet struct {
 	StoreHits int      `json:"store_hits"`
 	Failed    int      `json:"failed"`
 	Results   []Result `json:"results"`
+}
+
+// schemeSpecEcho renders the full component composition of a canonical
+// scheme reference for result rows ("" when unparseable — the item's error
+// field carries the diagnosis).
+func schemeSpecEcho(scheme string) string {
+	sp, err := policy.ParseSpec(scheme)
+	if err != nil {
+		return ""
+	}
+	return sp.Format()
 }
 
 // baselinePoint identifies one single-thread baseline coordinate. The
@@ -223,6 +240,7 @@ func (e *Engine) RunCtx(ctx context.Context, m *Manifest, progress func(ItemEven
 					Label:        it.Label(),
 					Workload:     it.Base,
 					Scheme:       it.Spec.Scheme,
+					SchemeSpec:   schemeSpecEcho(it.Spec.Scheme),
 					IQSize:       it.Spec.IQSize,
 					RegsPerClust: it.Spec.RegsPerClust,
 					ROBPerThread: it.Spec.ROBPerThread,

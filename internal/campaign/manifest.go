@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
+	"sort"
 	"strings"
 
 	"clustersmt/internal/experiments"
@@ -69,8 +71,20 @@ type Manifest struct {
 	// figure harness's quick mode (0 = no cap).
 	MaxPerCategory int `json:"max_per_category,omitempty"`
 
-	// Schemes lists the resource-assignment schemes to run (required).
-	Schemes []string `json:"schemes"`
+	// Schemes lists resource-assignment schemes to run: named paper
+	// schemes ("cdprf") or composed component specs in the policy grammar
+	// ("sel=stall,iq=cssp,rf=cdprf"). Entries are canonicalized before
+	// expansion; two spellings of one composition are rejected as
+	// duplicates rather than silently double-run. Required unless
+	// SchemeAxes is set.
+	Schemes []string `json:"schemes,omitempty"`
+
+	// SchemeAxes sweeps scheme components as axes: the cross product of
+	// selectors × IQ policies × RF policies × declared parameter values
+	// expands into composed specs, appended after Schemes. Expansions that
+	// canonicalize to an entry already produced (by Schemes or by another
+	// axis point) are rejected at validation.
+	SchemeAxes *SchemeAxes `json:"scheme_axes,omitempty"`
 
 	// IQSizes sweeps the per-cluster issue-queue capacity (default [32]).
 	IQSizes []int `json:"iq_sizes,omitempty"`
@@ -139,17 +153,19 @@ func Parse(b []byte) (*Manifest, error) {
 	return m, nil
 }
 
-// Validate checks the manifest against the scheme registry, the workload
-// pool and the axis rules (see Manifest).
+// Validate checks the manifest against the component and scheme
+// registries, the workload pool and the axis rules (see Manifest).
 func (m *Manifest) Validate() error {
-	if len(m.Schemes) == 0 {
-		return fmt.Errorf("manifest: no schemes (list at least one of %v)", policy.Names())
+	if _, err := m.schemeList(); err != nil {
+		return err
 	}
-	for _, s := range m.Schemes {
-		if _, err := policy.Lookup(s); err != nil {
-			return fmt.Errorf("manifest: %w", err)
-		}
-	}
+	return m.validateAxes()
+}
+
+// validateAxes checks everything except the scheme list — Expand resolves
+// the scheme list itself (one expansion, not two) and calls this for the
+// rest.
+func (m *Manifest) validateAxes() error {
 	known := map[string]bool{}
 	for _, c := range workload.Categories {
 		known[c] = true
@@ -199,6 +215,229 @@ func (m *Manifest) Validate() error {
 		return fmt.Errorf("manifest: negative repetitions")
 	}
 	return nil
+}
+
+// SchemeAxes sweeps scheme components as campaign axes. The expansion is
+// the cross product Selectors × IQ × RF × the value lists of every Params
+// entry whose component is part of the combination — so a parameter axis
+// multiplies only the combinations that actually instantiate its
+// component. A missing (null) axis takes the Icount-baseline default;
+// present-but-empty axes, duplicate entries and parameters targeting
+// unswept components are validation errors.
+type SchemeAxes struct {
+	// Selectors sweeps the rename thread-selection policy
+	// (default ["icount"]).
+	Selectors []string `json:"selectors,omitempty"`
+	// IQ sweeps the issue-queue occupancy policy
+	// (default ["unrestricted"]).
+	IQ []string `json:"iq,omitempty"`
+	// RF sweeps the register-file occupancy policy (default ["none"]).
+	RF []string `json:"rf,omitempty"`
+	// Params sweeps component parameters: "component.param" maps to the
+	// value list (e.g. "cspsp.frac": [0.25, 0.4]). The component must
+	// appear in its axis above; values must satisfy the parameter's
+	// declared bounds.
+	Params map[string][]float64 `json:"params,omitempty"`
+}
+
+// axisComponents validates one component-axis list: a nil list takes the
+// default, duplicates are rejected, and membership in the component
+// registry is checked per-combination by SchemeSpec.Validate later.
+func axisComponents(name string, vals []string, def string) ([]string, error) {
+	if vals == nil {
+		return []string{def}, nil
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("manifest: scheme_axes.%s is empty (omit it for the default, or list components)", name)
+	}
+	seen := map[string]bool{}
+	for _, v := range vals {
+		if seen[v] {
+			return nil, fmt.Errorf("manifest: scheme_axes.%s lists %q twice", name, v)
+		}
+		seen[v] = true
+	}
+	return vals, nil
+}
+
+// paramAxis is one validated "component.param" sweep.
+type paramAxis struct {
+	comp, param string
+	vals        []float64
+}
+
+// componentKind reports which registry holds comp: "selectors", "iq",
+// "rf", or "" when unknown. Component names are disjoint across the three
+// registries.
+func componentKind(comp string) string {
+	for _, c := range policy.Selectors() {
+		if c.Name == comp {
+			return "selectors"
+		}
+	}
+	for _, c := range policy.IQPolicies() {
+		if c.Name == comp {
+			return "iq"
+		}
+	}
+	for _, c := range policy.RFPolicies() {
+		if c.Name == comp {
+			return "rf"
+		}
+	}
+	return ""
+}
+
+// expand returns the canonical spec strings of the full component × param
+// cross product, in deterministic order (axes in listed order, param keys
+// sorted).
+func (a *SchemeAxes) expand() ([]string, error) {
+	sels, err := axisComponents("selectors", a.Selectors, "icount")
+	if err != nil {
+		return nil, err
+	}
+	iqs, err := axisComponents("iq", a.IQ, "unrestricted")
+	if err != nil {
+		return nil, err
+	}
+	rfs, err := axisComponents("rf", a.RF, "none")
+	if err != nil {
+		return nil, err
+	}
+
+	keys := make([]string, 0, len(a.Params))
+	for k := range a.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	byAxis := map[string][]string{"selectors": sels, "iq": iqs, "rf": rfs}
+	var paxes []paramAxis
+	for _, k := range keys {
+		comp, param, ok := strings.Cut(k, ".")
+		if !ok || comp == "" || param == "" {
+			return nil, fmt.Errorf("manifest: scheme_axes.params key %q must be \"component.param\"", k)
+		}
+		vals := a.Params[k]
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("manifest: scheme_axes.params.%s is empty (omit it for the default, or list values)", k)
+		}
+		seen := map[float64]bool{}
+		for _, v := range vals {
+			if seen[v] {
+				return nil, fmt.Errorf("manifest: scheme_axes.params.%s lists %v twice", k, v)
+			}
+			seen[v] = true
+		}
+		kind := componentKind(comp)
+		if kind == "" {
+			return nil, fmt.Errorf("manifest: scheme_axes.params key %q: unknown component %q", k, comp)
+		}
+		if !slices.Contains(byAxis[kind], comp) {
+			return nil, fmt.Errorf("manifest: scheme_axes.params key %q targets %s component %q, which is not in the %s axis — a parameter for an unswept component can never take effect",
+				k, kind, comp, kind)
+		}
+		paxes = append(paxes, paramAxis{comp: comp, param: param, vals: vals})
+	}
+
+	var out []string
+	for _, sel := range sels {
+		for _, iq := range iqs {
+			for _, rf := range rfs {
+				base := policy.SchemeSpec{
+					Sel: policy.ComponentSpec{Name: sel},
+					IQ:  policy.ComponentSpec{Name: iq},
+					RF:  policy.ComponentSpec{Name: rf},
+				}
+				applicable := make([]paramAxis, 0, len(paxes))
+				for _, pa := range paxes {
+					if pa.comp == sel || pa.comp == iq || pa.comp == rf {
+						applicable = append(applicable, pa)
+					}
+				}
+				specs, err := expandParams(base, applicable)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, specs...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// expandParams crosses base with every value assignment of paxes and
+// returns the canonical strings, validating each composed spec (this is
+// where out-of-range parameter values and nonsensical combinations are
+// rejected).
+func expandParams(base policy.SchemeSpec, paxes []paramAxis) ([]string, error) {
+	if len(paxes) == 0 {
+		if err := base.Validate(); err != nil {
+			return nil, fmt.Errorf("manifest: scheme_axes: %w", err)
+		}
+		return []string{base.Canonical()}, nil
+	}
+	pa, rest := paxes[0], paxes[1:]
+	var out []string
+	for _, v := range pa.vals {
+		next := base
+		switch pa.comp {
+		case base.Sel.Name:
+			next.Sel = base.Sel.WithParam(pa.param, v)
+		case base.IQ.Name:
+			next.IQ = base.IQ.WithParam(pa.param, v)
+		case base.RF.Name:
+			next.RF = base.RF.WithParam(pa.param, v)
+		}
+		specs, err := expandParams(next, rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, specs...)
+	}
+	return out, nil
+}
+
+// schemeList resolves Schemes plus the SchemeAxes expansion into the
+// deduplicated canonical scheme list, in deterministic order (Schemes
+// first, then the axes cross product). Two entries that canonicalize to
+// the same composition — a repeated name, a composed spelling of a listed
+// scheme, or an axis expansion overlapping either — are rejected so a
+// sloppy manifest cannot silently double-run specs.
+func (m *Manifest) schemeList() ([]string, error) {
+	seen := map[string]string{}
+	var out []string
+	add := func(raw, canon, src string) error {
+		if prev, dup := seen[canon]; dup {
+			return fmt.Errorf("manifest: %s %q duplicates %q (both canonicalize to %q)", src, raw, prev, canon)
+		}
+		seen[canon] = raw
+		out = append(out, canon)
+		return nil
+	}
+	for _, s := range m.Schemes {
+		canon, err := policy.CanonicalScheme(s)
+		if err != nil {
+			return nil, fmt.Errorf("manifest: schemes: %w", err)
+		}
+		if err := add(s, canon, "schemes entry"); err != nil {
+			return nil, err
+		}
+	}
+	if m.SchemeAxes != nil {
+		specs, err := m.SchemeAxes.expand()
+		if err != nil {
+			return nil, err
+		}
+		for _, canon := range specs {
+			if err := add(canon, canon, "scheme_axes expansion"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("manifest: no schemes (list schemes and/or scheme_axes; named schemes: %v)", policy.Names())
+	}
+	return out, nil
 }
 
 // Item is one expanded simulation of a campaign: a runner spec plus the
@@ -286,11 +525,19 @@ func axis(vals []int, def int) []int {
 // Expand validates the manifest and returns the full deterministic item
 // list: the cross product of workloads × repetitions × trace lengths ×
 // IQ sizes × register files × ROB depths × machine shapes (cluster count ×
-// links × link latency × memory latency) × schemes, plus the per-thread
-// Icount baselines at every axis point when SingleThreadBaselines is set.
-// Dry runs print exactly this list; real runs execute exactly this list.
+// links × link latency × memory latency) × schemes (the canonicalized
+// Schemes list plus the SchemeAxes component cross product), plus the
+// per-thread Icount baselines at every axis point when
+// SingleThreadBaselines is set. Dry runs print exactly this list; real
+// runs execute exactly this list.
 func (m *Manifest) Expand() ([]Item, error) {
-	if err := m.Validate(); err != nil {
+	// schemeList is the scheme half of Validate; calling it directly (plus
+	// validateAxes) avoids expanding the scheme_axes cross product twice.
+	schemes, err := m.schemeList()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.validateAxes(); err != nil {
 		return nil, err
 	}
 	pool, err := m.selectedWorkloads()
@@ -346,7 +593,7 @@ func (m *Manifest) Expand() ([]Item, error) {
 										items = append(items, point("icount", t))
 									}
 								}
-								for _, s := range m.Schemes {
+								for _, s := range schemes {
 									items = append(items, point(s, -1))
 								}
 							}

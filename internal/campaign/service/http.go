@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"clustersmt/internal/campaign"
+	"clustersmt/internal/policy"
 	"clustersmt/internal/report"
 )
 
@@ -20,6 +21,7 @@ const maxManifestBytes = 1 << 20
 //	GET    /v1/campaigns/{id}               job status; ?items=1 adds the per-item breakdown
 //	GET    /v1/campaigns/{id}/results       finished job's ResultSet; ?format=json|csv (default json)
 //	DELETE /v1/campaigns/{id}               cancel (no-op once finished)
+//	GET    /v1/components                   scheme component registries + named schemes (policy.ComponentSet)
 //	GET    /healthz                         liveness
 //
 // All error responses are JSON objects with an "error" field.
@@ -30,6 +32,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	// The component listing is what a client needs to author a manifest's
+	// scheme_axes block (or a composed schemes entry) without the binary
+	// at hand: every component, its parameters and their bounds.
+	mux.HandleFunc("GET /v1/components", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, policy.Components())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"clustersmt/internal/campaign"
 	"clustersmt/internal/campaign/store"
+	"clustersmt/internal/policy"
 )
 
 // startServer spins up a service on an httptest server and tears both down
@@ -71,6 +73,23 @@ func waitFinished(t *testing.T, srv *httptest.Server, id string) *JobStatus {
 	}
 	t.Fatalf("job %s did not finish in time", id)
 	return nil
+}
+
+func getResults(t *testing.T, srv *httptest.Server, id string) *campaign.ResultSet {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results code = %d", resp.StatusCode)
+	}
+	rs := &campaign.ResultSet{}
+	if err := json.NewDecoder(resp.Body).Decode(rs); err != nil {
+		t.Fatal(err)
+	}
+	return rs
 }
 
 func TestSubmitStatusResults(t *testing.T) {
@@ -452,5 +471,68 @@ func TestWaitAPI(t *testing.T) {
 	}
 	if _, err := s.Wait(ctx, "nope"); err == nil {
 		t.Error("Wait on unknown id succeeded")
+	}
+}
+
+// TestComponentsEndpoint: GET /v1/components serves the policy component
+// registries and named schemes — everything a client needs to author a
+// scheme_axes block without the binary at hand.
+func TestComponentsEndpoint(t *testing.T) {
+	srv := startServer(t, Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/v1/components")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	got := policy.ComponentSet{}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := policy.Components()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("components document diverged:\n%+v\nvs\n%+v", got, want)
+	}
+	if len(got.Schemes) != 12 || len(got.Selectors) == 0 || len(got.IQ) == 0 || len(got.RF) == 0 {
+		t.Errorf("incomplete listing: %d schemes, %d/%d/%d components",
+			len(got.Schemes), len(got.Selectors), len(got.IQ), len(got.RF))
+	}
+}
+
+// TestSubmitComposedScheme: the service accepts scheme_axes manifests and
+// runs composed specs end-to-end, and a duplicate-expanding manifest is
+// rejected at submission with a 422.
+func TestSubmitComposedScheme(t *testing.T) {
+	srv := startServer(t, Config{Workers: 2})
+	st := submit(t, srv, `{
+		"name": "composed",
+		"workloads": ["ispec00.mix.2.1"],
+		"trace_lens": [1000],
+		"scheme_axes": {"selectors": ["stall"], "iq": ["cssp"], "rf": ["cdprf"]}
+	}`)
+	st = waitFinished(t, srv, st.ID)
+	if st.State != StateDone || st.Done != 1 {
+		t.Fatalf("composed job: state=%s done=%d error=%q", st.State, st.Done, st.Error)
+	}
+	rs := getResults(t, srv, st.ID)
+	if len(rs.Results) != 1 || rs.Results[0].Scheme != "sel=stall,iq=cssp,rf=cdprf" {
+		t.Fatalf("results = %+v", rs.Results)
+	}
+	if rs.Results[0].SchemeSpec != "sel=stall,iq=cssp,rf=cdprf" {
+		t.Errorf("scheme_spec echo = %q", rs.Results[0].SchemeSpec)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", strings.NewReader(`{
+		"workloads": ["ispec00.mix.2.1"],
+		"schemes": ["cdprf", "sel=icount,iq=cssp,rf=cdprf"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("duplicate-expanding manifest: status = %d, want 422", resp.StatusCode)
 	}
 }

@@ -176,13 +176,18 @@ func New(cfg Config, sel policy.Selector, iqPol policy.IQPolicy, rfPol policy.RF
 	return p, nil
 }
 
-// NewScheme builds a processor running the named paper scheme.
-func NewScheme(cfg Config, schemeName string, progs []ThreadProgram) (*Processor, error) {
-	s, err := policy.Lookup(schemeName)
+// NewScheme builds a processor running the given resource-assignment
+// scheme: a named paper scheme ("cdprf") or a composed component spec in
+// the policy grammar ("sel=stall,iq=cssp,rf=cdprf").
+func NewScheme(cfg Config, scheme string, progs []ThreadProgram) (*Processor, error) {
+	sp, err := policy.ParseSpec(scheme)
 	if err != nil {
 		return nil, err
 	}
-	sel, iq, rf := s.New(cfg.NumThreads)
+	sel, iq, rf, err := sp.New(cfg.NumThreads)
+	if err != nil {
+		return nil, err
+	}
 	return New(cfg, sel, iq, rf, nil, progs)
 }
 

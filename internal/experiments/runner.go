@@ -18,6 +18,7 @@ import (
 	"clustersmt/internal/core"
 	"clustersmt/internal/isa"
 	"clustersmt/internal/metrics"
+	"clustersmt/internal/policy"
 	"clustersmt/internal/trace"
 	"clustersmt/internal/workload"
 )
@@ -25,6 +26,12 @@ import (
 // Spec identifies one simulation: a workload under a scheme on a machine
 // configuration. SingleThread >= 0 runs that thread alone (the fairness
 // baseline); -1 runs the full SMT workload.
+//
+// Scheme accepts anything policy.ParseSpec does: a named paper scheme
+// ("cdprf") or a composed component spec ("sel=stall,iq=cssp,rf=cdprf").
+// The content-addressed CacheKey hashes the canonical form, so spelling
+// variants of one composition share stored results — and a composed spec
+// that matches a named scheme recalls that scheme's pre-redesign entries.
 //
 // The machine-shape fields (NumClusters, Links, LinkLatency, MemLatency)
 // sweep the back-end geometry; 0 inherits the runner's Shape default and
@@ -332,6 +339,17 @@ func (r *Runner) CacheKey(s Spec) string {
 	return ck
 }
 
+// canonicalScheme reduces a scheme reference to its canonical spelling for
+// the content-addressed fingerprint; unparseable strings pass through (the
+// execution path reports the error, and the raw string cannot collide with
+// a canonical one in the store because it never produces results).
+func canonicalScheme(s string) string {
+	if c, err := policy.CanonicalScheme(s); err == nil {
+		return c
+	}
+	return s
+}
+
 func (r *Runner) computeKey(s Spec) string {
 	cb, err := r.configFor(s).Canonical()
 	if err != nil {
@@ -339,7 +357,7 @@ func (r *Runner) computeKey(s Spec) string {
 	}
 	b, err := json.Marshal(specFingerprint{
 		Version:      core.SimVersion,
-		Scheme:       s.Scheme,
+		Scheme:       canonicalScheme(s.Scheme),
 		SingleThread: s.SingleThread,
 		TraceLen:     r.TraceLen,
 		Workload:     s.Workload,

@@ -34,6 +34,9 @@ type PerfReader interface {
 // classification DCRA uses to shift resource shares toward
 // memory-intensive threads so they can exploit memory-level parallelism.
 type dcraState struct {
+	// slowWeight is the share weight of a slow thread (spec param
+	// "slowweight"; 0 selects the simplified-DCRA default of 2).
+	slowWeight  int
 	outstanding []int
 }
 
@@ -60,6 +63,9 @@ func (d *dcraState) MissEnd(t int, _ int64) {
 func (d *dcraState) weight(t int) int {
 	d.ensure(t + 1)
 	if d.outstanding[t] > 0 {
+		if d.slowWeight > 0 {
+			return d.slowWeight
+		}
 		return 2 // slow threads get a double share (simplified DCRA)
 	}
 	return 1

@@ -115,19 +115,25 @@ func (p *CSPSP) Allows(t, c int, m Machine) bool {
 func (*CSPSP) ForcedCluster(int) (int, bool) { return 0, false }
 
 // PC is the Private Clusters scheme: thread t is statically bound to
-// cluster t mod numClusters and all its uops are steered there.
-type PC struct{}
+// cluster (t+Offset) mod numClusters and all its uops are steered there.
+// Offset rotates the ownership assignment (spec param "offset"), so a
+// sweep can probe whether which cluster a thread owns matters on an
+// asymmetric shape; the default 0 is the paper's binding.
+type PC struct {
+	Offset int
+}
 
-// NewPC returns the private-clusters policy.
+// NewPC returns the private-clusters policy with the paper's binding.
 func NewPC() IQPolicy { return PC{} }
 
 // Name implements IQPolicy.
 func (PC) Name() string { return "pc" }
 
 // Allows implements IQPolicy.
-func (PC) Allows(t, c int, m Machine) bool {
-	return c == t%m.NumClusters()
+func (p PC) Allows(t, c int, m Machine) bool {
+	return c == (t+p.Offset)%m.NumClusters()
 }
 
-// ForcedCluster implements IQPolicy.
-func (PC) ForcedCluster(t int) (int, bool) { return t, true }
+// ForcedCluster implements IQPolicy. The core reduces the returned cluster
+// modulo the cluster count.
+func (p PC) ForcedCluster(t int) (int, bool) { return t + p.Offset, true }

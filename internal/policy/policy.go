@@ -11,9 +11,16 @@
 //   - an RFPolicy bounding physical-register occupancy per thread: none,
 //     CSSPRF, CISPRF, CDPRF.
 //
-// The named schemes of the paper are registered in Lookup (e.g. "cssp" =
-// Icount selector + CSSP IQ policy + no RF policy; "cdprf" = Icount +
-// CSSP + dynamic RF).
+// Each kind of component lives in a registry with typed, sweepable
+// parameters (see spec.go); SchemeSpec composes one of each through the
+// grammar "sel=<selector>,iq=<iq policy>,rf=<rf policy>" (parameters as
+// :name=value), so combinations beyond the paper's tables are reachable
+// from every scheme-taking surface. The named schemes of the paper are
+// just named compositions registered in Lookup (e.g. "cssp" = Icount
+// selector + CSSP IQ policy + no RF policy; "cdprf" = Icount + CSSP +
+// dynamic RF); a composed spec matching a named triple canonicalizes back
+// to the name, keeping content-addressed result keys stable (DESIGN.md
+// §3).
 package policy
 
 import "clustersmt/internal/isa"

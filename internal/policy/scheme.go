@@ -5,7 +5,11 @@ import (
 	"sort"
 )
 
-// Scheme bundles the three policy components under a paper-level name.
+// Scheme is a named paper scheme: a (selector, IQ policy, RF policy)
+// composition registered under the paper's name. Since the scheme-spec
+// redesign a Scheme is nothing but a named SchemeSpec — every named scheme
+// is reachable through the component grammar, and a composed spec that
+// matches a named triple canonicalizes back to the name.
 type Scheme struct {
 	// Name is the paper's name for the scheme (lower-cased).
 	Name string
@@ -15,52 +19,64 @@ type Scheme struct {
 	// Desc is a one-line description for `expdriver schemes` and the
 	// README registry table.
 	Desc string
-	// Selector constructs the rename thread-selection policy for n threads.
-	Selector func(n int) Selector
-	// IQ constructs the issue-queue occupancy policy.
-	IQ func() IQPolicy
-	// RF constructs the register-file occupancy policy.
-	RF func(cfg RFConfig) RFPolicy
+	// Spec is the scheme's composition in the component registries.
+	Spec SchemeSpec
 }
 
 // New instantiates the scheme's components for n threads.
 func (s Scheme) New(n int) (Selector, IQPolicy, RFPolicy) {
-	return s.Selector(n), s.IQ(), s.RF(DefaultRFConfig(n))
+	sel, iq, rf, err := s.Spec.New(n)
+	if err != nil {
+		// Registry invariant: every named scheme's spec is a valid
+		// composition (TestSchemeRegistry instantiates all of them).
+		panic(fmt.Sprintf("policy: named scheme %s has invalid spec: %v", s.Name, err))
+	}
+	return sel, iq, rf
+}
+
+// triple composes a param-free SchemeSpec for the named-scheme registry.
+func triple(sel, iq, rf string) SchemeSpec {
+	return SchemeSpec{
+		Sel: ComponentSpec{Name: sel},
+		IQ:  ComponentSpec{Name: iq},
+		RF:  ComponentSpec{Name: rf},
+	}
 }
 
 var registry = map[string]Scheme{
 	// §5.1, Table 3: issue-queue schemes (RF unmanaged).
 	"icount": {Name: "icount", Ref: "§5.1 Table 3", Desc: "baseline fetch policy; no IQ/RF occupancy bounds",
-		Selector: NewIcount, IQ: NewUnrestricted, RF: NewNoRF},
+		Spec: triple("icount", "unrestricted", "none")},
 	"stall": {Name: "stall", Ref: "§5.1 Table 3", Desc: "gate a thread's fetch while it has an L2 miss outstanding",
-		Selector: NewStall, IQ: NewUnrestricted, RF: NewNoRF},
+		Spec: triple("stall", "unrestricted", "none")},
 	"flush+": {Name: "flush+", Ref: "§5.1 Table 3", Desc: "flush an L2-missing thread's in-flight instructions and stall it",
-		Selector: NewFlushPlus, IQ: NewUnrestricted, RF: NewNoRF},
+		Spec: triple("flush+", "unrestricted", "none")},
 	"cisp": {Name: "cisp", Ref: "§5.1 Table 3", Desc: "cluster-insensitive static partition: cap a thread's total IQ share",
-		Selector: NewIcount, IQ: NewCISP, RF: NewNoRF},
+		Spec: triple("icount", "cisp", "none")},
 	"cssp": {Name: "cssp", Ref: "§5.1 Table 3", Desc: "cluster-sensitive static partition: cap a thread's IQ share per cluster",
-		Selector: NewIcount, IQ: NewCSSP, RF: NewNoRF},
+		Spec: triple("icount", "cssp", "none")},
 	"cspsp": {Name: "cspsp", Ref: "§5.1 Table 3", Desc: "cluster-sensitive partial static partition: per-cluster cap on a fraction",
-		Selector: NewIcount, IQ: NewCSPSP, RF: NewNoRF},
+		Spec: triple("icount", "cspsp", "none")},
 	"pc": {Name: "pc", Ref: "§5.1 Table 3", Desc: "private clusters: each thread owns a subset of the clusters",
-		Selector: NewIcount, IQ: NewPC, RF: NewNoRF},
+		Spec: triple("icount", "pc", "none")},
 
 	// §5.2, Table 4: register-file schemes layered on CSSP.
 	"cssprf": {Name: "cssprf", Ref: "§5.2 Table 4", Desc: "CSSP plus a cluster-sensitive static register partition",
-		Selector: NewIcount, IQ: NewCSSP, RF: NewCSSPRF},
+		Spec: triple("icount", "cssp", "cssprf")},
 	"cisprf": {Name: "cisprf", Ref: "§5.2 Table 4", Desc: "CSSP plus a cluster-insensitive static register partition",
-		Selector: NewIcount, IQ: NewCSSP, RF: NewCISPRF},
+		Spec: triple("icount", "cssp", "cisprf")},
 	"cdprf": {Name: "cdprf", Ref: "§5.2 Figs. 7–8", Desc: "CSSP plus the proposed dynamic register partition (the paper's best)",
-		Selector: NewIcount, IQ: NewCSSP, RF: NewCDPRF},
+		Spec: triple("icount", "cssp", "cdprf")},
 
 	// §6 future work, implemented as extensions (see future.go).
 	"dcra": {Name: "dcra", Ref: "§6 ext. [30]", Desc: "cluster-aware DCRA: activity-scaled dynamic IQ and RF shares",
-		Selector: NewIcount, IQ: NewDCRAIQ, RF: NewDCRARF},
+		Spec: triple("icount", "dcra-iq", "dcra-rf")},
 	"hillclimb": {Name: "hillclimb", Ref: "§6 ext. [32]", Desc: "hill-climbing per-cluster IQ shares, moving along the IPC gradient",
-		Selector: NewIcount, IQ: NewHillClimbIQ, RF: NewNoRF},
+		Spec: triple("icount", "hillclimb-iq", "none")},
 }
 
-// Lookup returns the scheme registered under name.
+// Lookup returns the scheme registered under name. It resolves names only;
+// use ParseSpec to accept composed scheme specs as well.
 func Lookup(name string) (Scheme, error) {
 	s, ok := registry[name]
 	if !ok {

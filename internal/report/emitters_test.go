@@ -30,7 +30,8 @@ func sampleResultSet() *campaign.ResultSet {
 		Results: []campaign.Result{
 			{
 				Label: "dh.ilp.2.1|icount|iq32|rf0|rob0|len2000|r0|st-1", Workload: "dh.ilp.2.1",
-				Scheme: "icount", IQSize: 32, TraceLen: 2000, SingleThread: -1,
+				Scheme: "icount", SchemeSpec: "sel=icount,iq=unrestricted,rf=none",
+				IQSize: 32, TraceLen: 2000, SingleThread: -1,
 				NumClusters: 2, Links: 2, LinkLatency: 1, MemLatency: 60,
 				Key: "0123456789abcdef", IPC: 1.8703812316715542,
 				CopiesPerRet: 0.19316400125431168, IQStallsRet: 0.429601756036375,
@@ -38,7 +39,8 @@ func sampleResultSet() *campaign.ResultSet {
 			},
 			{
 				Label: "dh.mem.2.1|cssp|iq8|rf0|rob0|len2000|r0|st-1", Workload: "dh.mem.2.1",
-				Scheme: "cssp", IQSize: 8, TraceLen: 2000, SingleThread: -1,
+				Scheme: "cssp", SchemeSpec: "sel=icount,iq=cssp,rf=none",
+				IQSize: 8, TraceLen: 2000, SingleThread: -1,
 				NumClusters: 2, Links: 2, LinkLatency: 1, MemLatency: 60,
 				Error: `config: iq size 8 below minimum, "quoted"`,
 			},
@@ -105,7 +107,7 @@ func TestResultSetCSVGolden(t *testing.T) {
 	if !reflect.DeepEqual(rows[0], campaign.CSVHeader()) {
 		t.Errorf("header = %v", rows[0])
 	}
-	if rows[1][0] != rs.Results[0].Label || rows[2][18] != rs.Results[1].Error {
+	if rows[1][0] != rs.Results[0].Label || rows[2][19] != rs.Results[1].Error {
 		t.Errorf("cells did not round-trip: %v", rows)
 	}
 }
