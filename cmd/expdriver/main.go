@@ -18,6 +18,10 @@
 //
 //	expdriver diff -tol 0.02 old.json new.json           # compare result JSONs
 //
+//	expdriver bench -quick -out BENCH_6.json             # continuous-benchmark suite
+//	expdriver bench -text                                # benchstat-friendly lines
+//	expdriver bench diff -tol 0.05 old.json new.json     # gate on regressions
+//
 //	expdriver serve -addr :8080 -store .campaign         # campaign service daemon
 //	expdriver submit -wait examples/campaign/iqsweep.json # POST a manifest to it
 //	expdriver status [job-id]                            # job list / per-item progress
@@ -36,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -53,6 +58,8 @@ func main() {
 		switch sub {
 		case "diff":
 			os.Exit(runDiff(rest))
+		case "bench":
+			os.Exit(runBench(rest))
 		case "serve":
 			os.Exit(runServe(rest))
 		case "submit":
@@ -71,7 +78,7 @@ func main() {
 			// Only flags fall through to figure/campaign mode; a mistyped
 			// subcommand must not silently start the full experiment suite.
 			if !strings.HasPrefix(sub, "-") {
-				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|serve|submit|status|cancel|schemes|components|workloads; flags select figure/campaign mode)\n", sub)
+				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|bench|serve|submit|status|cancel|schemes|components|workloads; flags select figure/campaign mode)\n", sub)
 				os.Exit(2)
 			}
 		}
@@ -89,6 +96,7 @@ func main() {
 		memLat     = flag.Int("mem-latency", 0, "main-memory latency in cycles (0 = Table 1 default, 60)")
 		verbose    = flag.Bool("v", false, "log every simulation")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof; pairs with GODEBUG=memprofilerate=1 for exact counts)")
 		manifest   = flag.String("manifest", "", "campaign manifest JSON: run a declarative sweep instead of the figure set")
 		storeDir   = flag.String("store", ".campaign", "campaign result store directory (empty disables persistence)")
 		dryRun     = flag.Bool("dry-run", false, "with -manifest: print the expanded spec set and estimated simulation count, run nothing")
@@ -108,8 +116,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
 			os.Exit(1)
 		}
-		defer pprof.StopCPUProfile()
 	}
+	// flushProfiles finalizes both profiles; it must run before every exit
+	// path (os.Exit skips defers).
+	flushProfiles := func() {
+		pprof.StopCPUProfile()
+		writeMemProfile(*memprofile)
+	}
+	defer flushProfiles()
 
 	if *manifest != "" {
 		// The figure-mode selectors do not apply to campaigns; warn rather
@@ -130,7 +144,7 @@ func main() {
 			csvOut:   *csvOut,
 			verbose:  *verbose,
 		})
-		pprof.StopCPUProfile() // flush before the deferless exit
+		flushProfiles() // before the deferless exit
 		os.Exit(code)
 	}
 
@@ -165,7 +179,7 @@ func main() {
 		v, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			pprof.StopCPUProfile() // flush before the deferless exit
+			flushProfiles() // before the deferless exit
 			os.Exit(1)
 		}
 		emitted[name] = v
@@ -189,10 +203,31 @@ func main() {
 	if *jsonOut != "" {
 		if err := report.WriteJSONFile(*jsonOut, emitted); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			flushProfiles() // before the deferless exit
 			os.Exit(1)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+// writeMemProfile emits the allocation profile ("allocs": every allocation
+// since process start, with in-use and cumulative views) to path, after a
+// final GC so the in-use numbers reflect live memory rather than floating
+// garbage. No-op when path is empty.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+	}
 }
 
 // schemeList collects repeated -scheme flags. Each value is validated and

@@ -250,8 +250,8 @@ type Hierarchy struct {
 
 	lineShift uint
 
-	// in-flight line fills: line block -> completion cycle
-	inflight map[uint64]int64
+	// mshr tracks in-flight line fills in a fixed-slot table.
+	mshr mshrTable
 
 	// port accounting for the current cycle
 	portCycle  int64
@@ -272,9 +272,79 @@ func New(cfg Config) *Hierarchy {
 		l1:        newSetAssoc(cfg.L1Size/cfg.LineSize, cfg.L1Assoc, lineShift),
 		l2:        newSetAssoc(cfg.L2Size/cfg.LineSize, cfg.L2Assoc, lineShift),
 		dtlb:      newSetAssoc(cfg.DTLBEntries, cfg.DTLBAssoc, pageShift),
-		inflight:  make(map[uint64]int64),
 	}
+	h.mshr.init(cfg.MSHRs)
 	return h
+}
+
+// mshrTable tracks in-flight line fills: (line block, completion cycle)
+// pairs in a flat slot array scanned linearly. A slot whose done cycle has
+// passed is dead and reusable — there is no explicit delete. With Table 1's
+// 16 MSHRs the whole table is two cache lines, so the scan beats the
+// map[uint64]int64 it replaced (hash + bucket walk per memory access, plus
+// map iteration garbage on every occupancy check) by a wide margin.
+//
+// The table starts at the configured MSHR count but can exceed it: loads
+// arbitrate through Available before inserting, but stores access the cache
+// at retirement without an MSHR gate (Table 1 retires stores through the L1
+// write ports), so insert grows the slot array on overflow rather than
+// dropping a fill. Growth is amortized and stops at the workload's
+// high-water mark; steady-state operation never allocates.
+type mshrTable struct {
+	lines []uint64
+	done  []int64
+	mshrs int // configured MSHR count (Available's threshold)
+}
+
+func (m *mshrTable) init(mshrs int) {
+	m.mshrs = mshrs
+	m.lines = make([]uint64, 0, mshrs)
+	m.done = make([]int64, 0, mshrs)
+}
+
+// available reports whether a new outstanding miss can be tracked at now:
+// fewer than the configured MSHR count of fills are still in flight.
+func (m *mshrTable) available(now int64) bool {
+	live := 0
+	for _, d := range m.done {
+		if d > now {
+			live++
+		}
+	}
+	return live < m.mshrs
+}
+
+// lookup returns the completion cycle of an in-flight fill of line, or
+// (0, false) when none is pending.
+func (m *mshrTable) lookup(line uint64, now int64) (int64, bool) {
+	for i, l := range m.lines {
+		if l == line && m.done[i] > now {
+			return m.done[i], true
+		}
+	}
+	return 0, false
+}
+
+// insert records a fill of line completing at done, reusing the line's own
+// slot or any expired slot before growing the table.
+func (m *mshrTable) insert(line uint64, doneAt, now int64) {
+	free := -1
+	for i, l := range m.lines {
+		if l == line {
+			m.done[i] = doneAt
+			return
+		}
+		if free < 0 && m.done[i] <= now {
+			free = i
+		}
+	}
+	if free >= 0 {
+		m.lines[free] = line
+		m.done[free] = doneAt
+		return
+	}
+	m.lines = append(m.lines, line)
+	m.done = append(m.done, doneAt)
 }
 
 func log2(n int) uint {
@@ -317,17 +387,9 @@ func (h *Hierarchy) TryWritePort(now int64) bool {
 }
 
 // MSHRAvailable reports whether a new outstanding miss can be tracked at
-// cycle now (expired fills are garbage-collected lazily).
+// cycle now (expired slots count as free; they are reused in place).
 func (h *Hierarchy) MSHRAvailable(now int64) bool {
-	if len(h.inflight) < h.cfg.MSHRs {
-		return true
-	}
-	for line, done := range h.inflight {
-		if done <= now {
-			delete(h.inflight, line)
-		}
-	}
-	return len(h.inflight) < h.cfg.MSHRs
+	return h.mshr.available(now)
 }
 
 // Access performs a data access at cycle now and returns where it was
@@ -347,7 +409,7 @@ func (h *Hierarchy) Access(addr uint64, now int64) Result {
 	line := addr >> h.lineShift
 
 	// Coalesce with an in-flight fill of the same line.
-	if done, ok := h.inflight[line]; ok && done > now {
+	if done, ok := h.mshr.lookup(line, now); ok {
 		h.stats.Coalesced++
 		res.Level = MemHit
 		res.DoneAt = done + lat
@@ -372,7 +434,7 @@ func (h *Hierarchy) Access(addr uint64, now int64) Result {
 
 	res.Level = MemHit
 	res.DoneAt = now + lat + int64(h.cfg.L1Latency+h.cfg.L2Latency+h.cfg.MemLatency)
-	h.inflight[line] = res.DoneAt
+	h.mshr.insert(line, res.DoneAt, now)
 	return res
 }
 

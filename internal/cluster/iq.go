@@ -71,6 +71,9 @@ func NewIssueQueue[T comparable](capacity, n int) *IssueQueue[T] {
 	q := &IssueQueue[T]{
 		slots: make([]iqSlot[T], capacity),
 		occ:   make([]int, n),
+		// Every queued entry can be ready at once; full capacity up front
+		// keeps MarkReady append-free for the queue's lifetime.
+		ready: make([]readyEnt[T], 0, capacity),
 		head:  nilSlot,
 		tail:  nilSlot,
 	}

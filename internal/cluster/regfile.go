@@ -59,9 +59,29 @@ func NewRegFile[W comparable](intRegs, fpRegs, n int) *RegFile[W] {
 		rf.ready[k] = make([]bool, c)
 		rf.inUse[k] = make([]int, n)
 		rf.waiters[k] = make([][]W, c)
+		if c <= waiterSlabMaxRegs {
+			// Carve every register's initial waiter capacity out of one
+			// slab so steady-state subscription never allocates; a register
+			// that outgrows its slice detaches via append and keeps the
+			// grown backing. Emulated-unbounded files (UnboundedRegs) stay
+			// lazy — the slab would cost megabytes and those registers
+			// rarely collect waiters.
+			slab := make([]W, c*waiterSlabCap)
+			for i := 0; i < c; i++ {
+				rf.waiters[k][i] = slab[i*waiterSlabCap : i*waiterSlabCap : (i+1)*waiterSlabCap]
+			}
+		}
 	}
 	return rf
 }
+
+// waiterSlabCap is the pre-carved waiter capacity per register;
+// waiterSlabMaxRegs bounds the file sizes that get the slab (Table 1's
+// 64–128 regs/kind easily qualify; UnboundedRegs does not).
+const (
+	waiterSlabCap     = 4
+	waiterSlabMaxRegs = 2048
+)
 
 // Total returns the number of physical registers of kind k.
 func (rf *RegFile[W]) Total(k isa.RegKind) int { return rf.total[k] }

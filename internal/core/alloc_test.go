@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+// TestSteadyStateZeroAlloc pins the PR's headline property: once the machine
+// is warm (entry pool populated, waiter lists and wheel buckets at their
+// high-water marks), the cycle loop runs allocation-free. Any append-growth
+// or per-event heap traffic reintroduced into the issue/wakeup/commit/memory
+// paths fails here long before it shows up in a profile.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	w, err := workload.Find("ispec00.mix.2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const traceLen = 400000
+	var progs []ThreadProgram
+	for i, prof := range w.Threads {
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, ThreadProgram{Trace: g.Generate(traceLen), Profile: prof, Seed: w.Seeds[i]})
+	}
+	p, err := NewScheme(DefaultConfig(2), "cdprf", progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up: long enough for every pooled structure to reach its
+	// high-water mark (the wakeup waiter lists are the slowest to converge).
+	for i := 0; i < 30000; i++ {
+		p.Step()
+	}
+	if p.Done() {
+		t.Fatal("machine drained during warm-up; lengthen the traces")
+	}
+
+	const window = 2000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < window; i++ {
+			p.Step()
+		}
+	})
+	if p.Done() {
+		t.Fatal("machine drained during measurement; lengthen the traces")
+	}
+	if avg != 0 {
+		t.Errorf("steady-state cycle loop allocates: %.2f allocs per %d cycles, want 0", avg, window)
+	}
+}

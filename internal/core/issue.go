@@ -67,8 +67,14 @@ func (p *Processor) schedule(e *frontend.ROBEntry, at int64) {
 			at-p.now, p.wheelMask+1))
 	}
 	e.InWheel = true
+	e.WheelNext = nil
 	b := &p.wheel[at&p.wheelMask]
-	*b = append(*b, e)
+	if b.tail != nil {
+		b.tail.WheelNext = e
+	} else {
+		b.head = e
+	}
+	b.tail = e
 }
 
 // executeLoad performs the memory access of a ready load at issue time and

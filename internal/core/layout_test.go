@@ -1,0 +1,143 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"clustersmt/internal/policy"
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+var updateLayoutGolden = flag.Bool("update-layout-golden", false,
+	"regenerate testdata/layout_golden.json from the current implementation")
+
+// layoutFingerprint runs scheme on w under cfg mutations and returns a
+// SHA-256 over the complete run statistics plus the memory-hierarchy
+// counters. Any behavioral drift in the IQ/ROB/MSHR/wheel storage layouts —
+// not just the headline numbers — changes the hash.
+func layoutFingerprint(t *testing.T, wname, scheme string, n int, mut func(*Config)) string {
+	t.Helper()
+	w, err := workload.Find(wname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progs []ThreadProgram
+	for i, prof := range w.Threads {
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, ThreadProgram{Trace: g.Generate(n), Profile: prof, Seed: w.Seeds[i]})
+	}
+	cfg := DefaultConfig(len(progs))
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := NewScheme(cfg, scheme, progs)
+	if err != nil {
+		t.Fatalf("NewScheme(%s): %v", scheme, err)
+	}
+	st := p.Run()
+	blob, err := json.Marshal(struct {
+		Stats any
+		Mem   any
+	}{st, p.Mem().Stats()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// layoutCases enumerates the pinned runs: all 12 named schemes on a fixed
+// workload at Table 1 defaults, plus shape variants that stress the
+// structures this PR re-laid out (bounded/unbounded ROB ring, tight MOB,
+// tiny MSHR table, grown wheel).
+func layoutCases() []struct{ name, workload, scheme string } {
+	var cases []struct{ name, workload, scheme string }
+	names := policy.Names()
+	sort.Strings(names)
+	for _, s := range names {
+		cases = append(cases, struct{ name, workload, scheme string }{
+			"scheme/" + s, "ispec00.mix.2.1", s,
+		})
+	}
+	return cases
+}
+
+// TestLayoutGolden pins bit-identical statistics for every named scheme
+// across the PR's memory-layout overhaul (value ROB ring, MOB arena,
+// fixed-slot MSHR table, pooled wheel buckets). The golden file was captured
+// from the pre-overhaul pointer-based layouts; the optimized layouts must
+// reproduce every hash exactly. Regenerate (only when behavior is *supposed*
+// to change, alongside a SimVersion bump) with:
+//
+//	go test ./internal/core -run TestLayoutGolden -update-layout-golden
+func TestLayoutGolden(t *testing.T) {
+	const traceLen = 6000
+	path := filepath.Join("testdata", "layout_golden.json")
+
+	got := map[string]string{}
+	for _, tc := range layoutCases() {
+		got[tc.name] = layoutFingerprint(t, tc.workload, tc.scheme, traceLen, nil)
+	}
+	// Shape variants: stress each refactored structure.
+	got["shape/tight-mob"] = layoutFingerprint(t, "server.mem.2.1", "icount", traceLen, func(c *Config) {
+		c.MOBSize = 24
+	})
+	got["shape/tiny-mshr"] = layoutFingerprint(t, "server.mem.2.1", "cssp", traceLen, func(c *Config) {
+		c.Cache.MSHRs = 2
+	})
+	got["shape/unbounded-rob"] = layoutFingerprint(t, "ispec00.mix.2.1", "cssp", traceLen, func(c *Config) {
+		c.ROBPerThread = 0
+		c.IntRegsPerCluster = 0
+		c.FpRegsPerCluster = 0
+	})
+	got["shape/big-rob"] = layoutFingerprint(t, "fspec00.mix.2.1", "cdprf", traceLen, func(c *Config) {
+		c.ROBPerThread = 512
+	})
+	got["shape/slow-memory"] = layoutFingerprint(t, "ispec00.mix.2.1", "icount", traceLen, func(c *Config) {
+		c.Cache.MemLatency = 400 // grown completion wheel
+	})
+	got["shape/four-clusters"] = layoutFingerprint(t, "server.mix.2.1", "cdprf", traceLen, func(c *Config) {
+		c.NumClusters = 4
+	})
+
+	if *updateLayoutGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fingerprints to %s", len(got), path)
+		return
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-layout-golden): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden has %d fingerprints, test produced %d", len(want), len(got))
+	}
+	for name, wh := range want {
+		if gh, ok := got[name]; !ok {
+			t.Errorf("%s: case missing from test", name)
+		} else if gh != wh {
+			t.Errorf("%s: stats fingerprint drifted from the pinned layout-equivalence golden\n got %s\nwant %s", name, gh, wh)
+		}
+	}
+}

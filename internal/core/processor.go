@@ -107,7 +107,7 @@ type Processor struct {
 	rrCommit int
 	rrSelect int
 
-	wheel     [][]*frontend.ROBEntry
+	wheel     []wheelBucket
 	wheelMask int64
 
 	pool []*frontend.ROBEntry
@@ -119,6 +119,7 @@ type Processor struct {
 	// scratch buffers reused across cycles to avoid allocation
 	scratchReady    []*frontend.ROBEntry
 	scratchOrder    []int
+	scratchIcount   []int
 	scratchSrcCnt   []int
 	scratchOcc      []int
 	scratchPlan     renamePlan
@@ -152,7 +153,7 @@ func New(cfg Config, sel policy.Selector, iqPol policy.IQPolicy, rfPol policy.RF
 		stats: metrics.NewStats(cfg.NumThreads, cfg.NumClusters),
 	}
 	wheelLen := wheelSizeFor(&cfg)
-	p.wheel = make([][]*frontend.ROBEntry, wheelLen)
+	p.wheel = make([]wheelBucket, wheelLen)
 	p.wheelMask = wheelLen - 1
 	for c := 0; c < cfg.NumClusters; c++ {
 		p.iqs = append(p.iqs, cluster.NewIssueQueue[*frontend.ROBEntry](cfg.IQSize, cfg.NumThreads))
@@ -173,6 +174,24 @@ func New(cfg Config, sel policy.Selector, iqPol policy.IQPolicy, rfPol policy.RF
 	}
 	p.scratchSrcCnt = make([]int, cfg.NumClusters)
 	p.scratchOcc = make([]int, cfg.NumClusters)
+	p.scratchReady = make([]*frontend.ROBEntry, 0, cfg.IQSize)
+	p.scratchOrder = make([]int, 0, cfg.NumThreads)
+	p.scratchIcount = make([]int, 0, cfg.NumThreads)
+	p.pool = make([]*frontend.ROBEntry, 0, entryPoolCap)
+	if cfg.ROBPerThread > 0 {
+		// Pre-populate the entry pool to its bounded-configuration ceiling
+		// (every in-flight entry sits in a ROB section or, briefly, in the
+		// wheel after a squash) so the cycle loop never calls the allocator.
+		// Unbounded ROBs grow the pool on demand instead.
+		prefill := cfg.NumThreads*cfg.ROBPerThread + 256
+		if prefill > entryPoolCap {
+			prefill = entryPoolCap
+		}
+		entries := make([]frontend.ROBEntry, prefill)
+		for i := range entries {
+			p.pool = append(p.pool, &entries[i])
+		}
+	}
 	return p, nil
 }
 
@@ -217,10 +236,25 @@ func (p *Processor) getEntry() *frontend.ROBEntry {
 	return e
 }
 
+// entryPoolCap bounds the ROB-entry free pool; in-flight entries are capped
+// by the ROB sections plus wheel-held squashed completions, so the pool's
+// population stabilizes far below this in bounded configurations.
+const entryPoolCap = 4096
+
 func (p *Processor) putEntry(e *frontend.ROBEntry) {
-	if len(p.pool) < 4096 {
+	if len(p.pool) < entryPoolCap {
 		p.pool = append(p.pool, e)
 	}
+}
+
+// wheelBucket heads one completion cycle's intrusive FIFO of entries,
+// chained through ROBEntry.WheelNext. Enqueue at the tail, drain from the
+// head: completion processing order is exactly the scheduling order, and no
+// bucket ever touches the allocator (the per-bucket slices this replaces
+// kept growing whenever MSHR-coalesced loads piled completions onto one
+// cycle).
+type wheelBucket struct {
+	head, tail *frontend.ROBEntry
 }
 
 // iqCluster returns the cluster whose issue queue holds e: copies wait in

@@ -340,10 +340,19 @@ func (p *Processor) rename() {
 	}
 	p.scratchOrder = order // keep the (possibly grown) backing array
 	// Insertion sort by icount (uops between rename and issue = entries
-	// currently held in the issue queues).
+	// currently held in the issue queues). Icount is frozen while sorting
+	// — nothing renames or issues mid-sort — so it is computed once per
+	// thread rather than per comparison. The sort is stable, preserving
+	// the round-robin rotation among equal counts.
+	ic := p.scratchIcount[:0]
+	for _, t := range order {
+		ic = append(ic, p.icount(t))
+	}
+	p.scratchIcount = ic
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && p.icount(order[j]) < p.icount(order[j-1]); j-- {
+		for j := i; j > 0 && ic[j] < ic[j-1]; j-- {
 			order[j], order[j-1] = order[j-1], order[j]
+			ic[j], ic[j-1] = ic[j-1], ic[j]
 		}
 	}
 	for _, t := range order {

@@ -13,13 +13,18 @@ import (
 // are released. Squashed entries are returned to the pool here.
 func (p *Processor) processCompletions() {
 	b := &p.wheel[p.now&p.wheelMask]
-	if len(*b) == 0 {
+	e := b.head
+	if e == nil {
 		return
 	}
-	for _, e := range *b {
+	b.head, b.tail = nil, nil
+	for e != nil {
+		next := e.WheelNext
+		e.WheelNext = nil
 		e.InWheel = false
 		if e.Squashed {
 			p.putEntry(e)
+			e = next
 			continue
 		}
 		e.Completed = true
@@ -33,8 +38,8 @@ func (p *Processor) processCompletions() {
 		if e.Uop.Class == isa.Branch {
 			p.resolveBranch(e)
 		}
+		e = next
 	}
-	*b = (*b)[:0]
 }
 
 // endCycle runs the per-cycle policy hooks and rotates arbitration.

@@ -107,6 +107,10 @@ type ROBEntry struct {
 	// InWheel marks an entry with a pending completion event; squashed
 	// entries stay owned by the event wheel until it drops them.
 	InWheel bool
+	// WheelNext chains entries completing in the same cycle (the core's
+	// event wheel is an intrusive FIFO list per bucket, so scheduling a
+	// completion never allocates). Owned by the core; nil while not queued.
+	WheelNext *ROBEntry
 
 	// Copy state: the value is read from CopySrcPhys in cluster SrcCluster
 	// and written to DstPhys in Cluster. CopyLogReg is the logical register
@@ -145,21 +149,35 @@ func (e *ROBEntry) IsCopy() bool { return e.Uop.Class == isa.Copy }
 // ROB is one thread's reorder-buffer section (§3: the ROB is split into as
 // many sections as running threads). Capacity 0 means unbounded (used by
 // the §5.1 issue-queue study).
+//
+// Storage is a ring buffer over a fixed pointer array sized from the
+// configured capacity. The previous slice-of-pointers layout advanced the
+// slice head on every PopHead, so append's spare capacity was consumed
+// permanently and Push reallocated the whole backing array every
+// capacity-many commits — the second-largest allocation site in simulator
+// profiles. The ring reuses its slots forever; only the unbounded
+// configuration can grow it (by doubling, amortized and transient).
 type ROB struct {
 	capacity int
-	entries  []*ROBEntry // head at index 0
+	buf      []*ROBEntry
+	head     int // index of the oldest entry
+	n        int
 }
 
 // NewROB returns a ROB section with the given capacity (0 = unbounded).
 func NewROB(capacity int) *ROB {
-	return &ROB{capacity: capacity, entries: make([]*ROBEntry, 0, 64)}
+	size := capacity
+	if capacity <= 0 {
+		size = 64 // unbounded: start small, grow by doubling
+	}
+	return &ROB{capacity: capacity, buf: make([]*ROBEntry, size)}
 }
 
 // Capacity returns the configured capacity (0 = unbounded).
 func (r *ROB) Capacity() int { return r.capacity }
 
 // Len returns the number of in-flight entries.
-func (r *ROB) Len() int { return len(r.entries) }
+func (r *ROB) Len() int { return r.n }
 
 // Free returns the number of allocatable entries; unbounded ROBs always
 // report a large positive number.
@@ -167,52 +185,80 @@ func (r *ROB) Free() int {
 	if r.capacity <= 0 {
 		return 1 << 30
 	}
-	return r.capacity - len(r.entries)
+	return r.capacity - r.n
+}
+
+// idx maps logical position i (0 = oldest) to a buffer index.
+func (r *ROB) idx(i int) int {
+	i += r.head
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
+}
+
+// grow doubles an unbounded ROB's ring, relinearizing the entries.
+func (r *ROB) grow() {
+	nb := make([]*ROBEntry, 2*len(r.buf))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[r.idx(i)]
+	}
+	r.buf = nb
+	r.head = 0
 }
 
 // Push appends e at the tail. It reports false when the ROB is full.
 func (r *ROB) Push(e *ROBEntry) bool {
-	if r.capacity > 0 && len(r.entries) >= r.capacity {
+	if r.capacity > 0 && r.n >= r.capacity {
 		return false
 	}
-	r.entries = append(r.entries, e)
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.idx(r.n)] = e
+	r.n++
 	return true
 }
 
 // Head returns the oldest entry, or nil when empty.
 func (r *ROB) Head() *ROBEntry {
-	if len(r.entries) == 0 {
+	if r.n == 0 {
 		return nil
 	}
-	return r.entries[0]
+	return r.buf[r.head]
 }
 
 // PopHead removes and returns the oldest entry.
 func (r *ROB) PopHead() *ROBEntry {
-	e := r.entries[0]
-	r.entries[0] = nil
-	r.entries = r.entries[1:]
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
 	return e
 }
 
 // Tail returns the youngest entry, or nil when empty.
 func (r *ROB) Tail() *ROBEntry {
-	if len(r.entries) == 0 {
+	if r.n == 0 {
 		return nil
 	}
-	return r.entries[len(r.entries)-1]
+	return r.buf[r.idx(r.n-1)]
 }
 
 // PopTail removes and returns the youngest entry (squash path).
 func (r *ROB) PopTail() *ROBEntry {
-	e := r.entries[len(r.entries)-1]
-	r.entries[len(r.entries)-1] = nil
-	r.entries = r.entries[:len(r.entries)-1]
+	i := r.idx(r.n - 1)
+	e := r.buf[i]
+	r.buf[i] = nil
+	r.n--
 	return e
 }
 
 // At returns the i-th oldest entry.
-func (r *ROB) At(i int) *ROBEntry { return r.entries[i] }
+func (r *ROB) At(i int) *ROBEntry { return r.buf[r.idx(i)] }
 
 // FetchedUop is a uop sitting in a thread's private fetch queue together
 // with the front-end state captured at fetch time.

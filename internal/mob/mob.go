@@ -7,9 +7,17 @@
 // trace-driven, so load values are always architectural. The MOB's role in
 // this study is occupancy (a shared resource threads can starve on) and
 // forwarding latency.
+//
+// Storage is a value arena: all entries live in one fixed slab sized to the
+// capacity, with a free list of slot indices and per-thread program-order
+// index lists. Alloc/Release recycle slots instead of touching the heap
+// (the pointer-per-entry layout was the simulator's single largest
+// allocation site), and the forwarding scan walks contiguous memory.
 package mob
 
-// Entry identifies one in-flight memory operation.
+// Entry identifies one in-flight memory operation. Entries are slots of the
+// MOB's arena: pointers returned by Alloc stay valid until Release, then the
+// slot is recycled.
 type Entry struct {
 	Thread  int
 	Seq     uint64 // per-thread program order
@@ -18,14 +26,19 @@ type Entry struct {
 	// Resolved is set when the address (and, for stores, data) is known,
 	// i.e. the uop has executed.
 	Resolved bool
+
+	// idx is the entry's arena slot, fixed at construction.
+	idx int32
 }
 
 // MOB is the shared memory order buffer. It is not safe for concurrent use.
 type MOB struct {
 	capacity int
-	// stores and loads are kept per thread in program order.
-	stores [][]*Entry
-	loads  [][]*Entry
+	arena    []Entry
+	freeList []int32
+	// stores and loads hold arena indices per thread in program order.
+	stores [][]int32
+	loads  [][]int32
 	used   int
 
 	forwards uint64
@@ -41,8 +54,20 @@ func New(capacity, n int) *MOB {
 	}
 	m := &MOB{
 		capacity: capacity,
-		stores:   make([][]*Entry, n),
-		loads:    make([][]*Entry, n),
+		arena:    make([]Entry, capacity),
+		freeList: make([]int32, capacity),
+		stores:   make([][]int32, n),
+		loads:    make([][]int32, n),
+	}
+	for i := range m.freeList {
+		// Pop from the end; keep low indices allocated first.
+		m.freeList[i] = int32(capacity - 1 - i)
+	}
+	for t := 0; t < n; t++ {
+		// Any one thread may hold up to the full shared capacity; sizing the
+		// index lists up front keeps Alloc append-free for good.
+		m.stores[t] = make([]int32, 0, capacity)
+		m.loads[t] = make([]int32, 0, capacity)
 	}
 	return m
 }
@@ -65,11 +90,14 @@ func (m *MOB) Alloc(t int, seq uint64, isStore bool) *Entry {
 	if m.used >= m.capacity {
 		return nil
 	}
-	e := &Entry{Thread: t, Seq: seq, IsStore: isStore}
+	idx := m.freeList[len(m.freeList)-1]
+	m.freeList = m.freeList[:len(m.freeList)-1]
+	e := &m.arena[idx]
+	*e = Entry{Thread: t, Seq: seq, IsStore: isStore, idx: idx}
 	if isStore {
-		m.stores[t] = append(m.stores[t], e)
+		m.stores[t] = append(m.stores[t], idx)
 	} else {
-		m.loads[t] = append(m.loads[t], e)
+		m.loads[t] = append(m.loads[t], idx)
 	}
 	m.used++
 	return e
@@ -88,7 +116,7 @@ func (m *MOB) Forward(t int, seq uint64, addr uint64) bool {
 	a := addr &^ 7
 	sts := m.stores[t]
 	for i := len(sts) - 1; i >= 0; i-- {
-		s := sts[i]
+		s := &m.arena[sts[i]]
 		if s.Seq >= seq {
 			continue
 		}
@@ -103,15 +131,16 @@ func (m *MOB) Forward(t int, seq uint64, addr uint64) bool {
 // Release removes e (commit or squash). Releasing an entry that is not
 // present is a programming error and panics.
 func (m *MOB) Release(e *Entry) {
-	var list *[]*Entry
+	var list *[]int32
 	if e.IsStore {
 		list = &m.stores[e.Thread]
 	} else {
 		list = &m.loads[e.Thread]
 	}
-	for i, x := range *list {
-		if x == e {
+	for i, idx := range *list {
+		if idx == e.idx {
 			*list = append((*list)[:i], (*list)[i+1:]...)
+			m.freeList = append(m.freeList, e.idx)
 			m.used--
 			return
 		}
@@ -123,20 +152,21 @@ func (m *MOB) Release(e *Entry) {
 // how many were removed.
 func (m *MOB) SquashYounger(t int, seq uint64) int {
 	n := 0
-	n += squashList(&m.stores[t], seq)
-	n += squashList(&m.loads[t], seq)
+	n += m.squashList(&m.stores[t], seq)
+	n += m.squashList(&m.loads[t], seq)
 	m.used -= n
 	return n
 }
 
-func squashList(list *[]*Entry, seq uint64) int {
+func (m *MOB) squashList(list *[]int32, seq uint64) int {
 	// Entries are in program order; find the first younger entry.
 	l := *list
 	i := len(l)
-	for i > 0 && l[i-1].Seq > seq {
+	for i > 0 && m.arena[l[i-1]].Seq > seq {
 		i--
 	}
 	n := len(l) - i
+	m.freeList = append(m.freeList, l[i:]...)
 	*list = l[:i]
 	return n
 }
