@@ -11,7 +11,7 @@ fail=0
 # 1. Path-shaped references in the docs must exist. Only paths under the
 #    tracked top-level trees are checked, so generated artifacts
 #    (out.csv, headline.json, ...) never false-positive.
-for doc in DESIGN.md README.md; do
+for doc in DESIGN.md README.md docs/API.md; do
   for ref in $(grep -oE '(internal|cmd|examples|\.github)/[A-Za-z0-9_./-]*[A-Za-z0-9_]' "$doc" | sort -u); do
     if [ ! -e "$ref" ]; then
       echo "$doc references nonexistent path: $ref" >&2
@@ -28,6 +28,24 @@ for sec in $(grep -rhoE 'DESIGN\.md §[0-9]+' --include='*.go' . | grep -oE '[0-
     fail=1
   fi
 done
+
+# 3. docs/API.md and the service mux must agree on the route set, in both
+#    directions: an undocumented registration and a documented-but-gone
+#    route both fail. The code side is the literal mux.HandleFunc
+#    patterns; the doc side is every backticked `METHOD /path` span.
+routes_code="$(grep -oE 'mux\.HandleFunc\("[A-Z]+ [^"]+"' internal/campaign/service/http.go \
+  | sed -E 's/.*\("//; s/"$//' | sort -u)"
+routes_doc="$(grep -oE '`(GET|HEAD|POST|PUT|PATCH|DELETE) /[^`]*`' docs/API.md \
+  | tr -d '\`' | sort -u)"
+if [ -z "$routes_code" ] || [ -z "$routes_doc" ]; then
+  echo "route extraction produced an empty list (check-doc-refs.sh pattern rot?)" >&2
+  fail=1
+elif [ "$routes_code" != "$routes_doc" ]; then
+  echo "docs/API.md and internal/campaign/service/http.go route sets drifted:" >&2
+  diff <(echo "$routes_doc") <(echo "$routes_code") >&2 || true
+  echo "(left: documented in docs/API.md; right: registered on the mux)" >&2
+  fail=1
+fi
 
 if [ "$fail" -eq 0 ]; then
   echo "doc references OK"

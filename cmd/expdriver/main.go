@@ -27,6 +27,8 @@
 //	expdriver status [job-id]                            # job list / per-item progress
 //	expdriver cancel job-id                              # stop a running campaign
 //
+//	expdriver report -quick -o out.html examples/campaign/iqsweep.json # static HTML report with time-series sparklines
+//
 //	expdriver schemes [-json]                            # scheme registry listing
 //	expdriver components [-json]                         # selector/IQ/RF component registries
 //	expdriver workloads -category dh                     # Table 2 workload pool
@@ -68,6 +70,8 @@ func main() {
 			os.Exit(runStatus(rest))
 		case "cancel":
 			os.Exit(runCancel(rest))
+		case "report":
+			os.Exit(runReport(rest))
 		case "schemes":
 			os.Exit(runSchemes(rest))
 		case "components":
@@ -78,7 +82,7 @@ func main() {
 			// Only flags fall through to figure/campaign mode; a mistyped
 			// subcommand must not silently start the full experiment suite.
 			if !strings.HasPrefix(sub, "-") {
-				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|bench|serve|submit|status|cancel|schemes|components|workloads; flags select figure/campaign mode)\n", sub)
+				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|bench|serve|submit|status|cancel|report|schemes|components|workloads; flags select figure/campaign mode)\n", sub)
 				os.Exit(2)
 			}
 		}

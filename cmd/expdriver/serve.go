@@ -31,10 +31,15 @@ func runServe(args []string) int {
 	jobWorkers := fs.Int("job-workers", 2, "concurrently executing campaigns")
 	maxQueue := fs.Int("max-queue", 256, "max jobs waiting for a job worker before submissions are rejected")
 	maxFinished := fs.Int("max-finished", 512, "retained finished jobs (oldest evicted beyond this; their results stay in the store)")
+	sampleInterval := fs.Int64("sample-interval", 0, "time-series window in cycles for the SSE event stream (0 = default 8192, rounded up to a power of two; negative disables sampling)")
+	eventBuffer := fs.Int("event-buffer", 0, "per-job event ring size for GET /v1/campaigns/{id}/events (0 = 1024)")
 	verbose := fs.Bool("v", false, "log every simulation")
 	fs.Parse(args)
 
-	cfg := service.Config{Workers: *workers, JobWorkers: *jobWorkers, MaxQueue: *maxQueue, MaxFinished: *maxFinished}
+	cfg := service.Config{
+		Workers: *workers, JobWorkers: *jobWorkers, MaxQueue: *maxQueue, MaxFinished: *maxFinished,
+		SampleInterval: *sampleInterval, EventBuffer: *eventBuffer,
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

@@ -37,6 +37,12 @@ type Engine struct {
 	Gate chan struct{}
 	// Verbose, when set, receives one line per completed simulation.
 	Verbose func(string)
+	// SampleInterval, when non-zero, enables per-item time-series sampling:
+	// executed items collect one metrics.Sample per interval cycles (see
+	// core.Processor.SetSampler for rounding), attached to the item's
+	// Result and forwarded live through the progress callback. Store hits
+	// carry no samples — only actual simulations produce time series.
+	SampleInterval int64
 
 	mu      sync.Mutex
 	mem     *experiments.MemStore
@@ -54,6 +60,12 @@ type ItemEvent struct {
 	// points into the ResultSet under construction and must be treated as
 	// read-only.
 	Result *Result
+	// Sample, when non-nil, is one time-series observation window from the
+	// item's running simulation (Engine.SampleInterval must be set). Sample
+	// events fire between Started and the completion event, from the
+	// simulating goroutine; the pointed-to value is never mutated after the
+	// callback.
+	Sample *metrics.Sample
 }
 
 // Result is one item's outcome, machine-readable for the JSON/CSV emitters
@@ -85,6 +97,11 @@ type Result struct {
 	ThreadIPC    []float64 `json:"thread_ipc,omitempty"`
 	Fairness     float64   `json:"fairness,omitempty"`
 	Error        string    `json:"error,omitempty"`
+	// Samples is the item's simulation time series (one entry per closed
+	// observation window), present only when the engine ran with
+	// SampleInterval set AND this item actually executed: cached items
+	// recall summary statistics, not time series.
+	Samples []metrics.Sample `json:"samples,omitempty"`
 }
 
 // ResultSet is a completed campaign: every expanded item in expansion
@@ -151,6 +168,7 @@ func (e *Engine) runnerFor(tl int) *experiments.Runner {
 	r.Workers = e.Workers
 	r.Verbose = e.Verbose
 	r.Gate = e.Gate
+	r.SampleInterval = e.SampleInterval
 	if e.Resume {
 		layers := []experiments.ResultStore{e.mem}
 		if e.Store != nil {
@@ -225,6 +243,15 @@ func (e *Engine) RunCtx(ctx context.Context, m *Manifest, progress func(ItemEven
 	}
 	sort.Ints(lens)
 
+	// Per-item time series, collected outside the Result until the item
+	// completes. Safe without a lock: exactly one worker simulates item i,
+	// and its Sample callbacks happen-before its Finished callback on the
+	// same goroutine.
+	var samples [][]metrics.Sample
+	if e.SampleInterval > 0 {
+		samples = make([][]metrics.Sample, len(items))
+	}
+
 	for _, tl := range lens {
 		idxs := byLen[tl]
 		r := e.runnerFor(tl)
@@ -266,6 +293,9 @@ func (e *Engine) RunCtx(ctx context.Context, m *Manifest, progress func(ItemEven
 							res.ThreadIPC = append(res.ThreadIPC, st.ThreadIPC(t))
 						}
 					}
+					if executed && samples != nil {
+						res.Samples = samples[i]
+					}
 				default:
 					res.Error = "simulation failed"
 				}
@@ -278,6 +308,15 @@ func (e *Engine) RunCtx(ctx context.Context, m *Manifest, progress func(ItemEven
 		if progress != nil {
 			p.Started = func(j int) {
 				progress(ItemEvent{Index: idxs[j], Started: true})
+			}
+		}
+		if samples != nil {
+			p.Sample = func(j int, s metrics.Sample) {
+				i := idxs[j]
+				samples[i] = append(samples[i], s)
+				if progress != nil {
+					progress(ItemEvent{Index: i, Sample: &s})
+				}
 			}
 		}
 		// Per-item errors already landed in the results via the callback;

@@ -1,0 +1,98 @@
+package campaign_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"clustersmt/internal/campaign"
+	"clustersmt/internal/experiments"
+)
+
+// TestEngineSampling pins the executed-vs-cached sampling contract: with
+// SampleInterval set, every item the engine actually simulates carries a
+// time series (both on its Result and as live Sample events after Started),
+// while a resumed re-run answering from the store carries none.
+func TestEngineSampling(t *testing.T) {
+	m := tinyManifest()
+	st := experiments.NewMemStore()
+	eng := campaign.Engine{Store: st, Resume: true, SampleInterval: 1024}
+
+	var mu sync.Mutex
+	started := map[int]bool{}
+	liveSamples := map[int]int{}
+	rs, err := eng.RunCtx(context.Background(), m, func(ev campaign.ItemEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case ev.Started:
+			started[ev.Index] = true
+		case ev.Sample != nil:
+			if !started[ev.Index] {
+				t.Errorf("item %d: sample before Started", ev.Index)
+			}
+			if ev.Sample.Window <= 0 {
+				t.Errorf("item %d: sample with window %d", ev.Index, ev.Sample.Window)
+			}
+			liveSamples[ev.Index]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Failed != 0 || rs.Executed != rs.Total {
+		t.Fatalf("fresh run: executed %d/%d, failed %d", rs.Executed, rs.Total, rs.Failed)
+	}
+	for i, r := range rs.Results {
+		if len(r.Samples) == 0 {
+			t.Errorf("executed item %d (%s) has no samples", i, r.Label)
+		}
+		if got := liveSamples[i]; got != len(r.Samples) {
+			t.Errorf("item %d: %d live sample events vs %d attached samples", i, got, len(r.Samples))
+		}
+	}
+
+	// Second engine, same store: everything answers from the store, and
+	// store hits must not fabricate time series.
+	eng2 := campaign.Engine{Store: st, Resume: true, SampleInterval: 1024}
+	var resampled int
+	rs2, err := eng2.RunCtx(context.Background(), m, func(ev campaign.ItemEvent) {
+		if ev.Sample != nil {
+			resampled++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.StoreHits != rs2.Total {
+		t.Fatalf("resumed run: %d store hits, want %d", rs2.StoreHits, rs2.Total)
+	}
+	if resampled != 0 {
+		t.Errorf("resumed run emitted %d sample events, want 0", resampled)
+	}
+	for i, r := range rs2.Results {
+		if len(r.Samples) != 0 {
+			t.Errorf("cached item %d (%s) carries %d samples, want none", i, r.Label, len(r.Samples))
+		}
+	}
+}
+
+// TestEngineSamplingDisabled: the default engine (SampleInterval zero)
+// attaches no samples and emits no sample events — the pre-observability
+// result JSON shape is preserved byte-for-byte.
+func TestEngineSamplingDisabled(t *testing.T) {
+	eng := campaign.Engine{}
+	rs, err := eng.RunCtx(context.Background(), tinyManifest(), func(ev campaign.ItemEvent) {
+		if ev.Sample != nil {
+			t.Errorf("item %d: sample event with sampling disabled", ev.Index)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs.Results {
+		if r.Samples != nil {
+			t.Errorf("item %d carries samples with sampling disabled", i)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"clustersmt/internal/campaign"
+	"clustersmt/internal/metrics"
+)
+
+// Event is one entry in a job's event stream, served over SSE by
+// GET /v1/campaigns/{id}/events. Types:
+//
+//	"item"    — an item changed state (running / done / failed); carries
+//	            index, label, state, and on completion cached/ipc/error.
+//	"sample"  — one time-series observation window from a simulating item.
+//	"state"   — the job reached a terminal state; always the last event.
+//	"dropped" — synthetic marker: the reader fell behind the bounded ring
+//	            and Dropped events were discarded (never buffered, so a
+//	            slow consumer cannot grow daemon memory).
+//
+// Index is -1 for events not tied to an item ("state", "dropped").
+type Event struct {
+	Seq    int64           `json:"seq"`
+	Type   string          `json:"type"`
+	Index  int             `json:"index"`
+	Label  string          `json:"label,omitempty"`
+	State  State           `json:"state,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	IPC    float64         `json:"ipc,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Sample *metrics.Sample `json:"sample,omitempty"`
+	// Dropped counts discarded events on a "dropped" marker.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// eventLog is a job's bounded event history: a fixed ring of the most
+// recent events plus a monotonically increasing sequence. Readers poll
+// read with a cursor; a cursor older than the ring reports how many events
+// it missed instead of blocking the writer or buffering per reader —
+// memory is O(ring) per job no matter how many or how slow the consumers.
+type eventLog struct {
+	mu     sync.Mutex
+	buf    []Event
+	start  int64 // seq of the oldest retained event
+	next   int64 // seq the next append will get
+	closed bool
+	wake   chan struct{} // closed and replaced on every append/close
+}
+
+func newEventLog(size int) *eventLog {
+	if size < 1 {
+		size = 1
+	}
+	return &eventLog{buf: make([]Event, size), wake: make(chan struct{})}
+}
+
+// add appends one event, assigning its sequence number, and wakes every
+// blocked reader. Events beyond the ring capacity overwrite the oldest.
+func (l *eventLog) add(e Event) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	e.Seq = l.next
+	l.buf[l.next%int64(len(l.buf))] = e
+	l.next++
+	if l.next-l.start > int64(len(l.buf)) {
+		l.start = l.next - int64(len(l.buf))
+	}
+	wake := l.wake
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+	close(wake)
+}
+
+// close marks the log complete (no further events) and wakes readers.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	wake := l.wake
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+	close(wake)
+}
+
+// read returns the events with sequence >= from, how many the cursor
+// missed (it fell behind the ring), the cursor to resume from, whether the
+// log is complete, and a channel that closes on the next append/close.
+func (l *eventLog) read(from int64) (evs []Event, dropped int64, next int64, closed bool, wait <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.start {
+		dropped = l.start - from
+		from = l.start
+	}
+	for seq := from; seq < l.next; seq++ {
+		evs = append(evs, l.buf[seq%int64(len(l.buf))])
+	}
+	return evs, dropped, l.next, l.closed, l.wake
+}
+
+// handleEvents streams a job's event log as Server-Sent Events:
+// one "event: <type>" + "data: <json>" frame per Event, flushed as
+// produced. The stream starts from the oldest event the ring still holds
+// (a late subscriber to a finished job replays the retained tail), emits a
+// "dropped" marker wherever the ring overwrote history, and ends — the
+// server closes the connection — after the terminal "state" event.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var cursor int64
+	for {
+		evs, dropped, next, closed, wait := j.events.read(cursor)
+		cursor = next
+		if dropped > 0 {
+			writeSSE(w, Event{Seq: -1, Type: "dropped", Index: -1, Dropped: dropped})
+		}
+		for i := range evs {
+			writeSSE(w, evs[i])
+		}
+		if len(evs) > 0 || dropped > 0 {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one SSE frame. The data payload is compact (single-line)
+// JSON — SSE terminates a field at the first newline, so the indented
+// report.WriteJSON encoder cannot be used here.
+func writeSSE(w http.ResponseWriter, e Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return // Event is a flat struct of encodable fields; cannot happen
+	}
+	w.Write([]byte("event: " + e.Type + "\nid: " + strconv.FormatInt(e.Seq, 10) + "\ndata: "))
+	w.Write(b)
+	w.Write([]byte("\n\n"))
+}
+
+// publish translates one engine progress event into the job's event log.
+// Called from engine worker goroutines with j.mu NOT held.
+func (j *job) publish(ev campaign.ItemEvent) {
+	e := Event{Index: ev.Index}
+	j.mu.Lock()
+	if ev.Index >= 0 && ev.Index < len(j.items) {
+		e.Label = j.items[ev.Index].Label
+	}
+	j.mu.Unlock()
+	switch {
+	case ev.Started:
+		e.Type = "item"
+		e.State = StateRunning
+	case ev.Sample != nil:
+		e.Type = "sample"
+		e.Sample = ev.Sample
+	case ev.Result != nil:
+		e.Type = "item"
+		if ev.Result.Error != "" {
+			e.State = StateFailed
+			e.Error = ev.Result.Error
+		} else {
+			e.State = StateDone
+			e.Cached = ev.Result.Cached
+			e.IPC = ev.Result.IPC
+		}
+	default:
+		return
+	}
+	j.events.add(e)
+}

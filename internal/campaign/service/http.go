@@ -20,9 +20,15 @@ const maxManifestBytes = 1 << 20
 //	GET    /v1/campaigns                    list jobs in submission order
 //	GET    /v1/campaigns/{id}               job status; ?items=1 adds the per-item breakdown
 //	GET    /v1/campaigns/{id}/results       finished job's ResultSet; ?format=json|csv (default json)
+//	GET    /v1/campaigns/{id}/events        live job event stream (Server-Sent Events; see events.go)
 //	DELETE /v1/campaigns/{id}               cancel (no-op once finished)
 //	GET    /v1/components                   scheme component registries + named schemes (policy.ComponentSet)
+//	GET    /metrics                         daemon operational metrics (Prometheus text format)
 //	GET    /healthz                         liveness
+//
+// docs/API.md is the client-facing reference for this surface (request and
+// response schemas, status codes, SSE frame format, metric names); CI
+// cross-checks its route list against the registrations below.
 //
 // All error responses are JSON objects with an "error" field.
 func (s *Service) Handler() http.Handler {
@@ -31,7 +37,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns", s.handleList)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// The component listing is what a client needs to author a manifest's
 	// scheme_axes block (or a composed schemes entry) without the binary
 	// at hand: every component, its parameters and their bounds.

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promLine matches one Prometheus text-format sample line:
+// name{optional="labels"} value
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? [-+0-9.eE]+$`)
+
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestMetricsEndpoint runs a small campaign and checks the scrape parses
+// as Prometheus text and reflects the work: executed simulations, a done
+// job, simulated cycles, and zero in-flight work once idle. A resubmission
+// of the same manifest must then move only the store-hit counter.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := startServer(t, Config{Workers: 2, SampleInterval: 1024})
+
+	m := scrape(t, srv.URL)
+	for _, name := range []string{
+		`clustersmt_jobs{state="queued"}`,
+		`clustersmt_jobs{state="running"}`,
+		`clustersmt_jobs{state="done"}`,
+		`clustersmt_jobs{state="failed"}`,
+		`clustersmt_jobs{state="canceled"}`,
+		"clustersmt_job_queue_depth",
+		"clustersmt_sims_inflight",
+		"clustersmt_sims_executed_total",
+		"clustersmt_store_hits_total",
+		"clustersmt_items_failed_total",
+		"clustersmt_sim_cycles_total",
+		"clustersmt_sim_cycles_per_second",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("metric %s missing from scrape", name)
+		}
+	}
+	if m["clustersmt_sims_executed_total"] != 0 {
+		t.Fatalf("fresh daemon reports %v executed sims", m["clustersmt_sims_executed_total"])
+	}
+
+	manifest := `{"workloads": ["dh.ilp.2.1"], "schemes": ["icount", "cssp"], "trace_lens": [20000]}`
+	st := submit(t, srv, manifest)
+	waitFinished(t, srv, st.ID)
+
+	m = scrape(t, srv.URL)
+	if got := m["clustersmt_sims_executed_total"]; got != 2 {
+		t.Errorf("executed_total = %v, want 2", got)
+	}
+	if got := m[`clustersmt_jobs{state="done"}`]; got != 1 {
+		t.Errorf(`jobs{state="done"} = %v, want 1`, got)
+	}
+	if m["clustersmt_sim_cycles_total"] <= 0 {
+		t.Error("no simulated cycles recorded despite sampling")
+	}
+	if m["clustersmt_sims_inflight"] != 0 || m["clustersmt_job_queue_depth"] != 0 {
+		t.Errorf("idle daemon reports inflight=%v queue=%v",
+			m["clustersmt_sims_inflight"], m["clustersmt_job_queue_depth"])
+	}
+
+	st2 := submit(t, srv, manifest)
+	waitFinished(t, srv, st2.ID)
+	m = scrape(t, srv.URL)
+	if got := m["clustersmt_sims_executed_total"]; got != 2 {
+		t.Errorf("executed_total after resubmit = %v, want 2 (store hits)", got)
+	}
+	if got := m["clustersmt_store_hits_total"]; got != 2 {
+		t.Errorf("store_hits_total = %v, want 2", got)
+	}
+}

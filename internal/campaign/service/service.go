@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"clustersmt/internal/campaign"
+	"clustersmt/internal/core"
 	"clustersmt/internal/experiments"
 )
 
@@ -63,6 +64,15 @@ type Config struct {
 	MaxFinished int
 	// Verbose, when set, receives one line per completed simulation.
 	Verbose func(string)
+	// SampleInterval is the time-series observation window in cycles for
+	// every simulation the daemon runs (0 = the core default, 8192; < 0
+	// disables sampling). Samples feed the per-job SSE event stream and
+	// the /metrics throughput gauge; store hits carry no samples.
+	SampleInterval int64
+	// EventBuffer sizes each job's bounded event ring (0 = 1024). A slow
+	// or absent SSE consumer costs at most this many retained events per
+	// job; older events are dropped, and the stream marks the gap.
+	EventBuffer int
 }
 
 // ItemStatus is one expanded item's live progress view.
@@ -119,15 +129,22 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	done      chan struct{} // closed on terminal state
+
+	// events is the job's bounded observability stream (see events.go).
+	// It has its own lock; the only ordering rule is that j.mu is never
+	// acquired while holding events.mu.
+	events *eventLog
 }
 
 // Service runs campaign jobs submitted over HTTP on a shared engine.
 // Create one with New and expose Handler; Close drains it.
 type Service struct {
 	eng *campaign.Engine
+	met svcMetrics
 
 	verbose     func(string)
 	maxFinished int
+	eventBuffer int
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -160,16 +177,29 @@ func New(cfg Config) *Service {
 	if maxFinished <= 0 {
 		maxFinished = 512
 	}
+	eventBuffer := cfg.EventBuffer
+	if eventBuffer <= 0 {
+		eventBuffer = 1024
+	}
+	sample := cfg.SampleInterval
+	switch {
+	case sample < 0:
+		sample = 0 // disabled
+	case sample == 0:
+		sample = core.DefaultSampleInterval
+	}
 	s := &Service{
 		eng: &campaign.Engine{
-			Store:   cfg.Store,
-			Resume:  true,
-			Workers: workers,
-			Gate:    make(chan struct{}, workers),
-			Verbose: cfg.Verbose,
+			Store:          cfg.Store,
+			Resume:         true,
+			Workers:        workers,
+			Gate:           make(chan struct{}, workers),
+			Verbose:        cfg.Verbose,
+			SampleInterval: sample,
 		},
 		verbose:     cfg.Verbose,
 		maxFinished: maxFinished,
+		eventBuffer: eventBuffer,
 		jobs:        make(map[string]*job),
 		queue:       make(chan *job, maxQueue),
 	}
@@ -219,6 +249,7 @@ func (s *Service) Submit(m *campaign.Manifest) (*JobStatus, error) {
 		items:     make([]ItemStatus, len(items)),
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		events:    newEventLog(s.eventBuffer),
 	}
 	for i, it := range items {
 		j.items[i] = ItemStatus{Label: it.Label(), State: StateQueued}
@@ -400,7 +431,11 @@ func (s *Service) runJob(j *job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 
-	rs, err := s.eng.RunCtx(j.ctx, j.manifest, j.onEvent)
+	rs, err := s.eng.RunCtx(j.ctx, j.manifest, func(ev campaign.ItemEvent) {
+		s.met.onItem(ev)
+		j.onEvent(ev)
+		j.publish(ev)
+	})
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -421,6 +456,9 @@ func (s *Service) runJob(j *job) {
 func (j *job) onEvent(ev campaign.ItemEvent) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if ev.Index < 0 || ev.Index >= len(j.items) {
+		return
+	}
 	it := &j.items[ev.Index]
 	switch {
 	case ev.Started:
@@ -456,6 +494,11 @@ func (j *job) finish(state State, rs *campaign.ResultSet, errMsg string) {
 	j.err = errMsg
 	j.finished = time.Now()
 	close(j.done)
+	// Publish the terminal event and complete the stream; SSE readers see
+	// a final "state" frame and then the server closes the connection.
+	// Safe under j.mu: the event log has its own lock and never takes j.mu.
+	j.events.add(Event{Type: "state", Index: -1, State: state, Error: errMsg})
+	j.events.close()
 }
 
 // status snapshots the job for the API.

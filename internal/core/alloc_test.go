@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"clustersmt/internal/metrics"
 	"clustersmt/internal/trace"
 	"clustersmt/internal/workload"
 )
@@ -28,6 +29,13 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Sampling rides the cycle loop's poll point and must preserve the
+	// zero-allocation property at the default window: the observer below
+	// only stores into a pre-existing variable, so any allocation the
+	// measurement sees comes from the sampling machinery itself.
+	var lastSample metrics.Sample
+	p.SetSampler(DefaultSampleInterval, func(s metrics.Sample) { lastSample = s })
+
 	// Warm up: long enough for every pooled structure to reach its
 	// high-water mark (the wakeup waiter lists are the slowest to converge).
 	for i := 0; i < 30000; i++ {
@@ -41,8 +49,16 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	avg := testing.AllocsPerRun(5, func() {
 		for i := 0; i < window; i++ {
 			p.Step()
+			// The same poll-point cadence RunCtx uses, so sample windows
+			// actually close inside the measured region.
+			if p.now%cancelCheckInterval == 0 {
+				p.maybeSample()
+			}
 		}
 	})
+	if lastSample.Window == 0 {
+		t.Fatal("no sample window closed during measurement; the zero-alloc gate did not exercise sampling")
+	}
 	if p.Done() {
 		t.Fatal("machine drained during measurement; lengthen the traces")
 	}

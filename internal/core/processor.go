@@ -116,6 +116,11 @@ type Processor struct {
 	statsCycleBase int64
 	statsFwdBase   uint64
 
+	// time-series sampling (SetSampler): observational only, allocation-free
+	sampleFn    func(metrics.Sample)
+	sampleEvery int64
+	sampleBase  sampleBase
+
 	// scratch buffers reused across cycles to avoid allocation
 	scratchReady    []*frontend.ROBEntry
 	scratchOrder    []int

@@ -106,6 +106,7 @@ func (p *Processor) resetStats() {
 	p.stats = metrics.NewStats(p.cfg.NumThreads, p.cfg.NumClusters)
 	p.statsCycleBase = p.now
 	p.statsFwdBase = p.mobq.Forwards()
+	p.rebaseSample()
 }
 
 // cancelCheckInterval is how many cycles RunCtx simulates between context
@@ -113,6 +114,110 @@ func (p *Processor) resetStats() {
 // loop; at 8192 cycles the overhead is noise while cancellation still lands
 // within a fraction of a millisecond of wall time.
 const cancelCheckInterval = 8192
+
+// Observability sampling rides the same poll point: SetSampler attaches an
+// observer that receives one metrics.Sample per closed interval, computed
+// from plain counter deltas against a processor-owned snapshot — no heap
+// traffic, so the steady-state zero-allocation property of the cycle loop
+// holds with sampling enabled (gated by TestSteadyStateZeroAlloc).
+const (
+	// DefaultSampleInterval is the sampling window used when SetSampler is
+	// given a non-positive interval: the ctx-poll cadence itself.
+	DefaultSampleInterval = cancelCheckInterval
+	// minSampleInterval bounds how fine the window can get; below the poll
+	// cadence RunCtx polls more often, and below this the per-cycle check
+	// overhead would stop being noise.
+	minSampleInterval = 1024
+)
+
+// sampleBase snapshots the counters a Sample is a delta against.
+type sampleBase struct {
+	cycle          int64
+	committed      uint64
+	copies         uint64
+	iqOccSum       int64
+	l1Miss, l2Miss uint64
+}
+
+// SetSampler attaches a time-series observer: fn receives one
+// metrics.Sample per interval cycles of simulation (rounded up to a power
+// of two, at least 1024; non-positive selects DefaultSampleInterval).
+// Call it before Run/RunCtx; a nil fn detaches. The callback runs on the
+// simulating goroutine between cycles — it must not retain the machine and
+// should return quickly. Sampling is purely observational: it reads
+// counters the run maintains anyway, so simulated outcomes (and
+// content-addressed result keys) are unaffected.
+func (p *Processor) SetSampler(interval int64, fn func(metrics.Sample)) {
+	if fn == nil {
+		p.sampleFn = nil
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	every := int64(minSampleInterval)
+	for every < interval {
+		every <<= 1
+	}
+	p.sampleFn = fn
+	p.sampleEvery = every
+	p.rebaseSample()
+}
+
+// sampleCounters reads the counter totals a sample windows over.
+func (p *Processor) sampleCounters() sampleBase {
+	var committed uint64
+	for _, c := range p.stats.Committed {
+		committed += c
+	}
+	var occ int64
+	for _, row := range p.stats.IQOccSum {
+		for _, v := range row {
+			occ += v
+		}
+	}
+	cs := p.mem.Stats()
+	return sampleBase{
+		cycle:     p.now,
+		committed: committed,
+		copies:    p.stats.CopyTransfers,
+		iqOccSum:  occ,
+		l1Miss:    cs.L1Misses,
+		l2Miss:    cs.L2Misses,
+	}
+}
+
+// rebaseSample restarts the current window at the present cycle. Called
+// when the sampler attaches and at the warm-up stats reset (the stats
+// counters drop to zero there, so a window spanning the reset would go
+// negative).
+func (p *Processor) rebaseSample() {
+	if p.sampleFn != nil {
+		p.sampleBase = p.sampleCounters()
+	}
+}
+
+// maybeSample closes the current observation window if it is due. Invoked
+// at the RunCtx poll point; allocation-free.
+func (p *Processor) maybeSample() {
+	if p.sampleFn == nil || p.now-p.sampleBase.cycle < p.sampleEvery {
+		return
+	}
+	cur := p.sampleCounters()
+	window := cur.cycle - p.sampleBase.cycle
+	s := metrics.Sample{
+		Cycle:     cur.cycle,
+		Window:    window,
+		Committed: cur.committed - p.sampleBase.committed,
+		Copies:    cur.copies - p.sampleBase.copies,
+		L1Misses:  cur.l1Miss - p.sampleBase.l1Miss,
+		L2Misses:  cur.l2Miss - p.sampleBase.l2Miss,
+	}
+	s.IPC = float64(s.Committed) / float64(window)
+	s.IQOcc = float64(cur.iqOccSum-p.sampleBase.iqOccSum) / float64(window)
+	p.sampleBase = cur
+	p.sampleFn(s)
+}
 
 // Run simulates until a thread finishes its trace (or all threads, with
 // RunToCompletion) or MaxCycles elapse, and returns the statistics.
@@ -128,13 +233,20 @@ func (p *Processor) Run() *metrics.Stats {
 // down through experiments.Runner.
 func (p *Processor) RunCtx(ctx context.Context) (*metrics.Stats, error) {
 	warming := p.cfg.WarmupUops > 0
+	// Sampling windows finer than the default poll cadence raise the poll
+	// rate to match; both are powers of two, so the check stays a mask.
+	pollMask := int64(cancelCheckInterval - 1)
+	if p.sampleFn != nil && p.sampleEvery < cancelCheckInterval {
+		pollMask = p.sampleEvery - 1
+	}
 	for p.now < p.cfg.MaxCycles && !p.finished() {
 		p.Step()
 		if warming && p.warmupDone() {
 			warming = false
 			p.resetStats()
 		}
-		if p.now%cancelCheckInterval == 0 {
+		if p.now&pollMask == 0 {
+			p.maybeSample()
 			select {
 			case <-ctx.Done():
 				return p.stats, ctx.Err()

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"clustersmt/internal/metrics"
+	"clustersmt/internal/trace"
+	"clustersmt/internal/workload"
+)
+
+func sampleTestProcessor(t *testing.T, traceLen int) *Processor {
+	t.Helper()
+	w, err := workload.Find("dh.mix.2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progs []ThreadProgram
+	for i, prof := range w.Threads {
+		g := trace.NewGenerator(prof, w.Seeds[i])
+		progs = append(progs, ThreadProgram{Trace: g.Generate(traceLen), Profile: prof, Seed: w.Seeds[i]})
+	}
+	cfg := DefaultConfig(2)
+	cfg.MaxCycles = int64(traceLen) * 40
+	cfg.WarmupUops = uint64(traceLen / 5)
+	p, err := NewScheme(cfg, "cdprf", progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSamplerWindows checks the sampling contract: windows are the
+// configured power-of-two size, cycles are strictly increasing, windows
+// never span the warm-up stats reset, and the per-window committed deltas
+// reconstruct the post-reset total.
+func TestSamplerWindows(t *testing.T) {
+	const traceLen = 60000
+	p := sampleTestProcessor(t, traceLen)
+	var samples []metrics.Sample
+	p.SetSampler(DefaultSampleInterval, func(s metrics.Sample) { samples = append(samples, s) })
+	st, err := p.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples for a %d-cycle run at window %d", len(samples), p.now, DefaultSampleInterval)
+	}
+	resetCycle := p.statsCycleBase
+	var afterReset uint64
+	prev := int64(-1)
+	for i, s := range samples {
+		if s.Cycle <= prev {
+			t.Fatalf("sample %d: cycle %d not after %d", i, s.Cycle, prev)
+		}
+		prev = s.Cycle
+		if s.Window <= 0 {
+			t.Fatalf("sample %d: window %d", i, s.Window)
+		}
+		if s.Window > 2*DefaultSampleInterval {
+			t.Errorf("sample %d: window %d far exceeds the interval", i, s.Window)
+		}
+		if s.Cycle > resetCycle && s.Cycle-s.Window < resetCycle {
+			t.Errorf("sample %d: window [%d,%d) spans the warm-up reset at %d",
+				i, s.Cycle-s.Window, s.Cycle, resetCycle)
+		}
+		if got := float64(s.Committed) / float64(s.Window); got != s.IPC {
+			t.Errorf("sample %d: IPC %v != committed/window %v", i, s.IPC, got)
+		}
+		if s.Cycle > resetCycle {
+			afterReset += s.Committed
+		}
+	}
+	// Every post-reset full window's commits are part of the final total;
+	// only the unreported final partial window is missing.
+	if total := st.TotalCommitted(); afterReset > total {
+		t.Errorf("post-reset sample commits %d exceed the run total %d", afterReset, total)
+	} else if afterReset == 0 {
+		t.Error("no samples observed after the warm-up reset")
+	}
+}
+
+// TestSamplerIntervalRounding: intervals round up to a power of two with a
+// floor, and a finer window yields proportionally more samples (RunCtx
+// raises the poll rate to match sub-default windows).
+func TestSamplerIntervalRounding(t *testing.T) {
+	const traceLen = 30000
+	counts := map[int64]int{}
+	for _, interval := range []int64{2048, 5000, 0} {
+		p := sampleTestProcessor(t, traceLen)
+		n := 0
+		p.SetSampler(interval, func(metrics.Sample) { n++ })
+		switch interval {
+		case 5000: // rounds up to 8192
+			if p.sampleEvery != 8192 {
+				t.Fatalf("interval 5000 rounded to %d, want 8192", p.sampleEvery)
+			}
+		case 0: // default
+			if p.sampleEvery != DefaultSampleInterval {
+				t.Fatalf("interval 0 resolved to %d, want %d", p.sampleEvery, DefaultSampleInterval)
+			}
+		case 2048:
+			if p.sampleEvery != 2048 {
+				t.Fatalf("interval 2048 changed to %d", p.sampleEvery)
+			}
+		}
+		if _, err := p.RunCtx(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		counts[p.sampleEvery] = n
+	}
+	if counts[2048] <= counts[8192] {
+		t.Errorf("2048-cycle windows produced %d samples vs %d at 8192; want more",
+			counts[2048], counts[8192])
+	}
+}
+
+// TestSamplerDoesNotPerturbStats: the identical run with and without a
+// sampler attached must produce byte-identical statistics — sampling is
+// observational.
+func TestSamplerDoesNotPerturbStats(t *testing.T) {
+	const traceLen = 20000
+	plain := sampleTestProcessor(t, traceLen)
+	stPlain, err := plain.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := sampleTestProcessor(t, traceLen)
+	sampled.SetSampler(2048, func(metrics.Sample) {})
+	stSampled, err := sampled.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPlain.String() != stSampled.String() || stPlain.Cycles != stSampled.Cycles {
+		t.Errorf("sampling perturbed the run:\n  plain:   %s\n  sampled: %s", stPlain, stSampled)
+	}
+}

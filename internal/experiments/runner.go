@@ -159,6 +159,15 @@ type Runner struct {
 	// bringing its own Workers-sized pool. Nil means Workers alone bounds
 	// parallelism.
 	Gate chan struct{}
+	// SampleInterval is the time-series observation window in cycles for
+	// runs requested with a Progress.Sample callback (see
+	// core.Processor.SetSampler for rounding; <= 0 selects the core
+	// default). Sampling is observational only and does not affect
+	// CacheKey: a sampled and an unsampled run of one spec share a stored
+	// result, which also means store hits and singleflight waiters receive
+	// no samples — only the flight owner simulates, and only simulations
+	// produce time series.
+	SampleInterval int64
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -372,11 +381,15 @@ func (r *Runner) computeKey(s Spec) string {
 
 // execute runs one spec to completion (uncached). A context cancellation
 // mid-simulation discards the partial run: it is not counted as executed
-// and never reaches the store.
-func (r *Runner) execute(ctx context.Context, s Spec) (*metrics.Stats, error) {
+// and never reaches the store. A non-nil onSample attaches a time-series
+// sampler for the duration of the run (see SampleInterval).
+func (r *Runner) execute(ctx context.Context, s Spec, onSample func(metrics.Sample)) (*metrics.Stats, error) {
 	p, err := core.NewScheme(r.configFor(s), s.Scheme, r.buildPrograms(s.Workload, s.SingleThread))
 	if err != nil {
 		return nil, err
+	}
+	if onSample != nil {
+		p.SetSampler(r.SampleInterval, onSample)
 	}
 	st, err := p.RunCtx(ctx)
 	if err != nil {
@@ -389,7 +402,7 @@ func (r *Runner) execute(ctx context.Context, s Spec) (*metrics.Stats, error) {
 // Run executes (or recalls) one spec. Concurrent calls for the same spec
 // share a single execution; completed results are recalled from the store.
 func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
-	st, _, err := r.run(context.Background(), s)
+	st, _, err := r.run(context.Background(), s, nil)
 	return st, err
 }
 
@@ -397,7 +410,7 @@ func (r *Runner) Run(s Spec) (*metrics.Stats, error) {
 // the simulation mid-run (the partial result is discarded, not stored) and
 // returns the context's error.
 func (r *Runner) RunCtx(ctx context.Context, s Spec) (*metrics.Stats, error) {
-	st, _, err := r.run(ctx, s)
+	st, _, err := r.run(ctx, s, nil)
 	return st, err
 }
 
@@ -413,16 +426,16 @@ func (r *Runner) RunCtx(ctx context.Context, s Spec) (*metrics.Stats, error) {
 // belongs to a different campaign, and its DELETE must not fail
 // overlapping items of uncancelled jobs — the waiter retries (typically
 // becoming the new owner) instead.
-func (r *Runner) run(ctx context.Context, s Spec) (st *metrics.Stats, executed bool, err error) {
+func (r *Runner) run(ctx context.Context, s Spec, onSample func(metrics.Sample)) (st *metrics.Stats, executed bool, err error) {
 	for {
-		st, executed, err, retry := r.runOnce(ctx, s)
+		st, executed, err, retry := r.runOnce(ctx, s, onSample)
 		if !retry {
 			return st, executed, err
 		}
 	}
 }
 
-func (r *Runner) runOnce(ctx context.Context, s Spec) (st *metrics.Stats, executed bool, err error, retry bool) {
+func (r *Runner) runOnce(ctx context.Context, s Spec, onSample func(metrics.Sample)) (st *metrics.Stats, executed bool, err error, retry bool) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err, false
 	}
@@ -477,7 +490,7 @@ func (r *Runner) runOnce(ctx context.Context, s Spec) (st *metrics.Stats, execut
 		}
 	}
 
-	f.st, f.err = r.execute(ctx, s)
+	f.st, f.err = r.execute(ctx, s, onSample)
 
 	var putErr error
 	if f.err == nil {
@@ -509,6 +522,12 @@ func ctxErr(err error) bool {
 type Progress struct {
 	// Started fires when a worker picks up spec i.
 	Started func(i int)
+	// Sample fires for each closed observation window while spec i
+	// simulates (window size: Runner.SampleInterval). It only fires for
+	// specs this pool actually executes — store hits and singleflight
+	// waiters complete without samples. Called from the simulating
+	// goroutine; it must return quickly.
+	Sample func(i int, s metrics.Sample)
 	// Finished fires when spec i completes (successfully or not).
 	Finished func(i int, st *metrics.Stats, executed bool, err error)
 }
@@ -549,8 +568,13 @@ func (r *Runner) RunAllCtx(ctx context.Context, specs []Spec, p *Progress) ([]*m
 				if p != nil && p.Started != nil {
 					p.Started(i)
 				}
+				var onSample func(metrics.Sample)
+				if p != nil && p.Sample != nil {
+					i := i
+					onSample = func(s metrics.Sample) { p.Sample(i, s) }
+				}
 				var executed bool
-				out[i], executed, errs[i] = r.run(ctx, specs[i])
+				out[i], executed, errs[i] = r.run(ctx, specs[i], onSample)
 				if p != nil && p.Finished != nil {
 					p.Finished(i, out[i], executed, errs[i])
 				}

@@ -1,0 +1,35 @@
+package metrics
+
+// Sample is one observation window of a running simulation: the deltas of
+// the headline counters over the window, plus the cycle at which the window
+// closed. Samples are produced by core.Processor at a configurable cycle
+// interval (see core.Processor.SetSampler) and flow through the experiment
+// runner's Progress callbacks into campaign results and the service
+// daemon's SSE event stream — they are the live time-series view of a
+// simulation that Stats only summarizes at the end.
+//
+// All counter fields are per-window deltas, not running totals, so
+// consumers can plot them directly and sum them to reconstruct totals.
+// Rates (IPC, IQOcc) are already normalized by Window.
+type Sample struct {
+	// Cycle is the machine cycle at which the window closed (absolute,
+	// including warm-up cycles; windows never span the warm-up stats
+	// reset — sampling re-bases there).
+	Cycle int64 `json:"cycle"`
+	// Window is the number of cycles the sample covers. The final partial
+	// window of a run is not reported.
+	Window int64 `json:"window"`
+	// Committed is the number of uops committed in the window (all
+	// threads, copies excluded).
+	Committed uint64 `json:"committed"`
+	// IPC is Committed/Window.
+	IPC float64 `json:"ipc"`
+	// IQOcc is the mean number of occupied issue-queue entries over the
+	// window, summed across clusters and threads.
+	IQOcc float64 `json:"iq_occ"`
+	// Copies counts inter-cluster link transfers in the window.
+	Copies uint64 `json:"copies"`
+	// L1Misses and L2Misses count data-cache misses in the window.
+	L1Misses uint64 `json:"l1_misses"`
+	L2Misses uint64 `json:"l2_misses"`
+}

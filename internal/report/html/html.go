@@ -1,0 +1,289 @@
+// Package html renders a completed campaign ResultSet as a single
+// self-contained HTML report: summary tally, per-scheme result tables,
+// time-series sparklines for every item that carried samples, and a
+// store-hit attribution breakdown. Everything — styles, the section
+// toggler script, the sparkline SVGs — is generated inline, so the file
+// opens from disk with no network access and can be attached to a CI run
+// or an email as one artifact (`expdriver report` is the CLI entry point).
+package html
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"clustersmt/internal/campaign"
+	"clustersmt/internal/metrics"
+)
+
+// Doc is a built report, ready to render. Build assembles the sections
+// from a ResultSet; EmptySections reports which carry no content (the CI
+// docs gate fails on any, so a report regression — e.g. samples silently
+// disappearing — is caught at build time, not by a human opening the
+// file).
+type Doc struct {
+	Title    string
+	sections []section
+}
+
+type section struct {
+	id    string
+	title string
+	body  string // inner HTML, already escaped
+	empty bool
+}
+
+// Build assembles the report document for rs.
+func Build(rs *campaign.ResultSet) *Doc {
+	d := &Doc{Title: fmt.Sprintf("Campaign %s (%s)", rs.Campaign, rs.Version)}
+	d.sections = []section{
+		summarySection(rs),
+		schemesSection(rs),
+		timeseriesSection(rs),
+		storeSection(rs),
+	}
+	return d
+}
+
+// EmptySections returns the titles of sections that have no content.
+func (d *Doc) EmptySections() []string {
+	var out []string
+	for _, s := range d.sections {
+		if s.empty {
+			out = append(out, s.title)
+		}
+	}
+	return out
+}
+
+// Render writes the complete HTML document.
+func (d *Doc) Render(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", esc(d.Title))
+	b.WriteString("<style>\n" + style + "</style>\n</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(d.Title))
+	for _, s := range d.sections {
+		fmt.Fprintf(&b, "<section id=%q>\n<h2 onclick=\"toggle('%s')\">%s</h2>\n<div class=\"body\">\n",
+			s.id, s.id, esc(s.title))
+		if s.empty {
+			b.WriteString("<p class=\"empty\">(no content)</p>\n")
+		} else {
+			b.WriteString(s.body)
+		}
+		b.WriteString("</div>\n</section>\n")
+	}
+	b.WriteString("<script>\n" + script + "</script>\n</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+const style = `body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto; max-width: 72em; padding: 0 1em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; cursor: pointer; border-bottom: 1px solid #ddd; padding-bottom: .2em; }
+h2::before { content: "\25BE\00A0"; color: #888; } section.closed h2::before { content: "\25B8\00A0"; }
+section.closed .body { display: none; }
+table { border-collapse: collapse; margin: .5em 0 1.5em; }
+th, td { border: 1px solid #ddd; padding: .25em .6em; text-align: left; }
+th { background: #f5f5f5; } td.num { text-align: right; font-variant-numeric: tabular-nums; }
+td.err { color: #b00; } .cached { color: #777; }
+svg.spark { vertical-align: middle; } .empty { color: #b00; font-style: italic; }
+.legend { color: #666; font-size: .9em; }`
+
+const script = `function toggle(id) { document.getElementById(id).classList.toggle('closed'); }`
+
+func esc(s string) string { return html.EscapeString(s) }
+
+// f formats a metric value like the text report package (4 significant
+// digits is plenty for IPC-scale numbers).
+func f(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}
+
+func sourceCell(r campaign.Result) string {
+	switch {
+	case r.Error != "":
+		return `<td class="err">` + esc(r.Error) + `</td>`
+	case r.Cached:
+		return `<td class="cached">store</td>`
+	default:
+		return `<td>run</td>`
+	}
+}
+
+func summarySection(rs *campaign.ResultSet) section {
+	var b strings.Builder
+	b.WriteString("<table><tr><th>total items</th><th>executed</th><th>store hits</th><th>failed</th><th>sim version</th></tr>\n")
+	fmt.Fprintf(&b, "<tr><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td>%s</td></tr></table>\n",
+		rs.Total, rs.Executed, rs.StoreHits, rs.Failed, esc(rs.Version))
+	return section{id: "summary", title: "Summary", body: b.String(), empty: rs.Total == 0}
+}
+
+// schemeOrder returns the distinct schemes of rs in first-appearance
+// order (the manifest's expansion order, which the author chose).
+func schemeOrder(rs *campaign.ResultSet) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range rs.Results {
+		if !seen[r.Scheme] {
+			seen[r.Scheme] = true
+			order = append(order, r.Scheme)
+		}
+	}
+	return order
+}
+
+func schemesSection(rs *campaign.ResultSet) section {
+	var b strings.Builder
+	hasFairness := false
+	for _, r := range rs.Results {
+		if r.Fairness > 0 {
+			hasFairness = true
+			break
+		}
+	}
+	for _, scheme := range schemeOrder(rs) {
+		fmt.Fprintf(&b, "<h3>%s</h3>\n<table><tr><th>item</th><th>IPC</th><th>copies/ret</th><th>IQ stalls/ret</th>", esc(scheme))
+		if hasFairness {
+			b.WriteString("<th>fairness</th>")
+		}
+		b.WriteString("<th>source</th></tr>\n")
+		for _, r := range rs.Results {
+			if r.Scheme != scheme {
+				continue
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td class=\"num\">%s</td>",
+				esc(r.Label), f(r.IPC), f(r.CopiesPerRet), f(r.IQStallsRet))
+			if hasFairness {
+				fv := ""
+				if r.SingleThread < 0 && r.Fairness > 0 {
+					fv = f(r.Fairness)
+				}
+				fmt.Fprintf(&b, "<td class=\"num\">%s</td>", fv)
+			}
+			b.WriteString(sourceCell(r) + "</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+	return section{id: "schemes", title: "Results by scheme", body: b.String(), empty: len(rs.Results) == 0}
+}
+
+func timeseriesSection(rs *campaign.ResultSet) section {
+	var b strings.Builder
+	n := 0
+	b.WriteString(`<p class="legend">IPC per observation window (blue, scaled to the item's peak); mean issue-queue occupancy (orange, own scale). Store hits carry no time series — only freshly executed items are sampled.</p>` + "\n")
+	b.WriteString("<table><tr><th>item</th><th>windows</th><th>mean IPC</th><th>IPC over time</th></tr>\n")
+	for _, r := range rs.Results {
+		if len(r.Samples) == 0 {
+			continue
+		}
+		n++
+		var mean float64
+		for _, s := range r.Samples {
+			mean += s.IPC
+		}
+		mean /= float64(len(r.Samples))
+		fmt.Fprintf(&b, "<tr><td>%s</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td>%s</td></tr>\n",
+			esc(r.Label), len(r.Samples), f(mean), sparkline(r.Samples))
+	}
+	b.WriteString("</table>\n")
+	return section{id: "timeseries", title: "Time series", body: b.String(), empty: n == 0}
+}
+
+// sparkline renders an item's sample series as a small inline SVG: the
+// IPC polyline scaled to its own peak, and the mean IQ occupancy as a
+// second, fainter polyline on its own scale. A series with a single point
+// degenerates to a dot.
+func sparkline(samples []metrics.Sample) string {
+	const w, h, pad = 260, 36, 2
+	x := func(i int) float64 {
+		if len(samples) == 1 {
+			return w / 2
+		}
+		return pad + float64(i)*(w-2*pad)/float64(len(samples)-1)
+	}
+	y := func(v, max float64) float64 {
+		if max <= 0 {
+			return h - pad
+		}
+		return h - pad - v*(h-2*pad)/max
+	}
+	var maxIPC, maxOcc float64
+	for _, s := range samples {
+		maxIPC = maxF(maxIPC, s.IPC)
+		maxOcc = maxF(maxOcc, s.IQOcc)
+	}
+	pts := func(val func(metrics.Sample) float64, max float64) string {
+		var b strings.Builder
+		for i, s := range samples {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.1f,%.1f", x(i), y(val(s), max))
+		}
+		return b.String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="spark" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`, w, h, w, h)
+	fmt.Fprintf(&b, `<title>IPC %s..%s over %d windows</title>`, f(minIPC(samples)), f(maxIPC), len(samples))
+	fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#e8a33d" stroke-width="1"/>`,
+		pts(func(s metrics.Sample) float64 { return s.IQOcc }, maxOcc))
+	fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#2f6fb7" stroke-width="1.5"/>`,
+		pts(func(s metrics.Sample) float64 { return s.IPC }, maxIPC))
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func maxF(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+func minIPC(samples []metrics.Sample) float64 {
+	m := samples[0].IPC
+	for _, s := range samples[1:] {
+		if s.IPC < m {
+			m = s.IPC
+		}
+	}
+	return m
+}
+
+func storeSection(rs *campaign.ResultSet) section {
+	type tally struct{ total, executed, cached, failed int }
+	byScheme := map[string]*tally{}
+	for _, r := range rs.Results {
+		t := byScheme[r.Scheme]
+		if t == nil {
+			t = &tally{}
+			byScheme[r.Scheme] = t
+		}
+		t.total++
+		switch {
+		case r.Error != "":
+			t.failed++
+		case r.Cached:
+			t.cached++
+		default:
+			t.executed++
+		}
+	}
+	schemes := make([]string, 0, len(byScheme))
+	for s := range byScheme {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	var b strings.Builder
+	b.WriteString(`<p class="legend">Where each item's result came from: a fresh simulation, the content-addressed result store (or another in-flight job), or a failure.</p>` + "\n")
+	b.WriteString("<table><tr><th>scheme</th><th>items</th><th>executed</th><th>store hits</th><th>failed</th></tr>\n")
+	for _, s := range schemes {
+		t := byScheme[s]
+		fmt.Fprintf(&b, "<tr><td>%s</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%d</td><td class=\"num\">%d</td></tr>\n",
+			esc(s), t.total, t.executed, t.cached, t.failed)
+	}
+	b.WriteString("</table>\n")
+	return section{id: "store", title: "Store-hit attribution", body: b.String(), empty: len(rs.Results) == 0}
+}

@@ -1,0 +1,112 @@
+package html
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"clustersmt/internal/campaign"
+	"clustersmt/internal/metrics"
+)
+
+func testSet() *campaign.ResultSet {
+	samples := []metrics.Sample{
+		{Cycle: 8192, Window: 8192, Committed: 16000, IPC: 1.95, IQOcc: 22.5, Copies: 300, L1Misses: 40, L2Misses: 4},
+		{Cycle: 16384, Window: 8192, Committed: 15000, IPC: 1.83, IQOcc: 24.0, Copies: 310, L1Misses: 42, L2Misses: 5},
+		{Cycle: 24576, Window: 8192, Committed: 16500, IPC: 2.01, IQOcc: 21.1, Copies: 280, L1Misses: 39, L2Misses: 3},
+	}
+	return &campaign.ResultSet{
+		Campaign: "tiny<sweep>", // angle brackets: escaping must hold
+		Version:  "v6",
+		Total:    3, Executed: 1, StoreHits: 1, Failed: 1,
+		Results: []campaign.Result{
+			{Label: "dh.mix.2.1/icount/iq32", Scheme: "icount", IQSize: 32, SingleThread: -1,
+				IPC: 1.93, CopiesPerRet: 0.11, IQStallsRet: 0.4, Samples: samples},
+			{Label: "dh.mix.2.1/cssp/iq32", Scheme: "cssp", IQSize: 32, SingleThread: -1,
+				IPC: 2.10, CopiesPerRet: 0.09, IQStallsRet: 0.2, Cached: true},
+			{Label: "dh.mix.2.1/cdprf/iq32", Scheme: "cdprf", IQSize: 32, SingleThread: -1,
+				Error: "boom & crash"},
+		},
+	}
+}
+
+func TestBuildAndRender(t *testing.T) {
+	d := Build(testSet())
+	if empty := d.EmptySections(); len(empty) != 0 {
+		t.Fatalf("empty sections: %v", empty)
+	}
+	var sb strings.Builder
+	if err := d.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Campaign tiny&lt;sweep&gt; (v6)", // escaped title
+		"Results by scheme",
+		"Time series",
+		"Store-hit attribution",
+		"<svg class=\"spark\"",   // inline sparkline
+		"dh.mix.2.1/icount/iq32", // item label
+		"boom &amp; crash",       // escaped error text
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report lacks %q", want)
+		}
+	}
+
+	// Self-contained: no external fetches of any kind.
+	for _, banned := range []string{"http://", "https://", "src=\"//", "@import", "url("} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report references an external resource: found %q", banned)
+		}
+	}
+
+	// The executed item gets a sparkline; the store hit and the failure do
+	// not (one <svg> per sampled item).
+	if got := strings.Count(out, "<svg"); got != 1 {
+		t.Errorf("%d sparklines, want 1 (only the sampled item)", got)
+	}
+
+	// Sparkline coordinates stay inside the viewBox.
+	coord := regexp.MustCompile(`points="([^"]+)"`)
+	for _, m := range coord.FindAllStringSubmatch(out, -1) {
+		for _, pt := range strings.Fields(m[1]) {
+			var x, y float64
+			if _, err := fmt.Sscanf(pt, "%f,%f", &x, &y); err != nil {
+				t.Fatalf("bad point %q: %v", pt, err)
+			}
+			if x < 0 || x > 260 || y < 0 || y > 36 {
+				t.Errorf("point %q outside the 260x36 viewBox", pt)
+			}
+		}
+	}
+}
+
+func TestEmptySections(t *testing.T) {
+	rs := &campaign.ResultSet{Campaign: "none", Version: "v6"}
+	d := Build(rs)
+	empty := d.EmptySections()
+	if len(empty) != 4 {
+		t.Fatalf("empty sections = %v, want all 4", empty)
+	}
+	// A set with results but no samples: only the time series is empty.
+	rs = testSet()
+	for i := range rs.Results {
+		rs.Results[i].Samples = nil
+	}
+	empty = Build(rs).EmptySections()
+	if len(empty) != 1 || empty[0] != "Time series" {
+		t.Fatalf("empty sections = %v, want [Time series]", empty)
+	}
+	// Rendering an empty-sectioned doc still works and marks the gap.
+	var sb strings.Builder
+	if err := Build(rs).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(no content)") {
+		t.Error("empty section not marked in the rendered output")
+	}
+}
