@@ -1,0 +1,73 @@
+// Command smtlint runs the repository's project-specific static analyzers
+// over package patterns:
+//
+//	go run ./cmd/smtlint ./...
+//
+// Analyzers (see DESIGN.md §9 and each package's doc comment):
+//
+//	noalloc      //smtlint:noalloc functions must not allocate
+//	confighash   every Canonical()-hashed config field reaches the store key
+//	lockcheck    no blocking operation under a service mutex
+//	registryref  policy registrations carry Ref/Desc and sane param bounds
+//
+// Exit status is nonzero when any diagnostic is reported. The tool is pure
+// standard library (this module carries no dependencies), so it runs
+// anywhere the repo builds — no module download, no separate install.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersmt/internal/lint"
+	"clustersmt/internal/lint/confighash"
+	"clustersmt/internal/lint/lockcheck"
+	"clustersmt/internal/lint/noalloc"
+	"clustersmt/internal/lint/registryref"
+)
+
+var analyzers = []*lint.Analyzer{
+	noalloc.Analyzer,
+	confighash.Analyzer,
+	lockcheck.Analyzer,
+	registryref.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: smtlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Packages default to ./... relative to the current directory.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	m, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtlint:", err)
+		os.Exit(2)
+	}
+	bad := 0
+	for _, pos := range m.BadAllows() {
+		fmt.Printf("%s: //smtlint:allow requires a reason [smtlint]\n", pos)
+		bad++
+	}
+	for _, d := range lint.Run(m, analyzers) {
+		fmt.Println(d)
+		bad++
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}

@@ -97,6 +97,7 @@ func ceilPow2(n int) int {
 	return p
 }
 
+//smtlint:noalloc
 func (p *Predictor) index(thread int, pc uint64) uint64 {
 	return ((pc >> 2) ^ p.history[thread]) & p.mask
 }
@@ -104,6 +105,8 @@ func (p *Predictor) index(thread int, pc uint64) uint64 {
 // Predict returns the taken/not-taken prediction for the branch at pc and a
 // history checkpoint to restore on misprediction. It speculatively updates
 // the thread's history with the prediction.
+//
+//smtlint:noalloc
 func (p *Predictor) Predict(thread int, pc uint64) (taken bool, checkpoint uint64) {
 	p.lookups++
 	checkpoint = p.history[thread]
@@ -113,6 +116,7 @@ func (p *Predictor) Predict(thread int, pc uint64) (taken bool, checkpoint uint6
 	return taken, checkpoint
 }
 
+//smtlint:noalloc
 func (p *Predictor) pushHistory(thread int, taken bool) {
 	h := p.history[thread] << 1
 	if taken {
@@ -124,6 +128,8 @@ func (p *Predictor) pushHistory(thread int, taken bool) {
 // Resolve trains the predictor with the actual outcome of the branch at pc.
 // mispredicted tells the predictor to restore the checkpointed history and
 // reapply the actual outcome (the wrong speculative history is discarded).
+//
+//smtlint:noalloc
 func (p *Predictor) Resolve(thread int, pc uint64, checkpoint uint64, taken, mispredicted bool) {
 	// Train the counter using the history the branch was predicted with.
 	idx := ((pc >> 2) ^ checkpoint) & p.mask
@@ -146,6 +152,8 @@ func (p *Predictor) Resolve(thread int, pc uint64, checkpoint uint64, taken, mis
 // RestoreHistory rewinds thread's global history to checkpoint. The core
 // uses it when squashing fetched-but-unresolved branches (flushes), whose
 // speculative history pushes must be undone without training.
+//
+//smtlint:noalloc
 func (p *Predictor) RestoreHistory(thread int, checkpoint uint64) {
 	p.history[thread] = checkpoint & p.histMask
 }

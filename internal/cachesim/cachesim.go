@@ -180,6 +180,8 @@ func newSetAssoc(totalEntries, assoc int, shift uint) *setAssocCache {
 }
 
 // access looks up addr at time now, filling on miss; it reports hit/miss.
+//
+//smtlint:noalloc
 func (c *setAssocCache) access(addr uint64, now int64) bool {
 	c.accesses++
 	block := addr >> c.shift
@@ -209,6 +211,8 @@ func (c *setAssocCache) access(addr uint64, now int64) bool {
 }
 
 // probe reports whether addr is present without updating any state.
+//
+//smtlint:noalloc
 func (c *setAssocCache) probe(addr uint64) bool {
 	block := addr >> c.shift
 	set := int(block & c.setMask)
@@ -304,6 +308,8 @@ func (m *mshrTable) init(mshrs int) {
 
 // available reports whether a new outstanding miss can be tracked at now:
 // fewer than the configured MSHR count of fills are still in flight.
+//
+//smtlint:noalloc
 func (m *mshrTable) available(now int64) bool {
 	live := 0
 	for _, d := range m.done {
@@ -316,6 +322,8 @@ func (m *mshrTable) available(now int64) bool {
 
 // lookup returns the completion cycle of an in-flight fill of line, or
 // (0, false) when none is pending.
+//
+//smtlint:noalloc
 func (m *mshrTable) lookup(line uint64, now int64) (int64, bool) {
 	for i, l := range m.lines {
 		if l == line && m.done[i] > now {
@@ -327,6 +335,8 @@ func (m *mshrTable) lookup(line uint64, now int64) (int64, bool) {
 
 // insert records a fill of line completing at done, reusing the line's own
 // slot or any expired slot before growing the table.
+//
+//smtlint:noalloc
 func (m *mshrTable) insert(line uint64, doneAt, now int64) {
 	free := -1
 	for i, l := range m.lines {
@@ -343,7 +353,9 @@ func (m *mshrTable) insert(line uint64, doneAt, now int64) {
 		m.done[free] = doneAt
 		return
 	}
+	//smtlint:allow tracker grows to peak outstanding-line population, then reuses slots
 	m.lines = append(m.lines, line)
+	//smtlint:allow grows in lockstep with lines above
 	m.done = append(m.done, doneAt)
 }
 
@@ -358,6 +370,7 @@ func log2(n int) uint {
 // Config returns the (default-filled) configuration in use.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+//smtlint:noalloc
 func (h *Hierarchy) rollPorts(now int64) {
 	if now != h.portCycle {
 		h.portCycle = now
@@ -367,6 +380,8 @@ func (h *Hierarchy) rollPorts(now int64) {
 }
 
 // TryReadPort claims an L1 read port for cycle now; it reports success.
+//
+//smtlint:noalloc
 func (h *Hierarchy) TryReadPort(now int64) bool {
 	h.rollPorts(now)
 	if h.readsUsed >= h.cfg.L1ReadPorts {
@@ -377,6 +392,8 @@ func (h *Hierarchy) TryReadPort(now int64) bool {
 }
 
 // TryWritePort claims an L1 write port for cycle now; it reports success.
+//
+//smtlint:noalloc
 func (h *Hierarchy) TryWritePort(now int64) bool {
 	h.rollPorts(now)
 	if h.writesUsed >= h.cfg.L1WritePorts {
@@ -388,6 +405,8 @@ func (h *Hierarchy) TryWritePort(now int64) bool {
 
 // MSHRAvailable reports whether a new outstanding miss can be tracked at
 // cycle now (expired slots count as free; they are reused in place).
+//
+//smtlint:noalloc
 func (h *Hierarchy) MSHRAvailable(now int64) bool {
 	return h.mshr.available(now)
 }
@@ -395,6 +414,8 @@ func (h *Hierarchy) MSHRAvailable(now int64) bool {
 // Access performs a data access at cycle now and returns where it was
 // served and when it completes. The caller is responsible for port and MSHR
 // arbitration via TryReadPort/TryWritePort/MSHRAvailable.
+//
+//smtlint:noalloc
 func (h *Hierarchy) Access(addr uint64, now int64) Result {
 	lat := int64(0)
 	var res Result
@@ -439,12 +460,18 @@ func (h *Hierarchy) Access(addr uint64, now int64) Result {
 }
 
 // ProbeL2 reports whether addr currently resides in the L2 (no state change).
+//
+//smtlint:noalloc
 func (h *Hierarchy) ProbeL2(addr uint64) bool { return h.l2.probe(addr) }
 
 // ProbeL1 reports whether addr currently resides in the L1 (no state change).
+//
+//smtlint:noalloc
 func (h *Hierarchy) ProbeL1(addr uint64) bool { return h.l1.probe(addr) }
 
 // Stats returns a copy of the counters.
+//
+//smtlint:noalloc
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
 // Reset clears all cache contents and counters but keeps the configuration.

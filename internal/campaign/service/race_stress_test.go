@@ -1,0 +1,200 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEventRingConcurrentPublishers hammers one eventLog from many
+// publisher goroutines while a fast reader (following the wake channel) and
+// a slow reader (polling with sleeps, deliberately falling behind the ring)
+// consume concurrently. Run under -race this pins the ring's synchronization;
+// the accounting checks pin that no event is lost unaccounted: every reader
+// sees exactly publishers*perPub events as delivered + dropped, in sequence
+// order.
+func TestEventRingConcurrentPublishers(t *testing.T) {
+	const (
+		publishers = 8
+		perPub     = 400
+		total      = publishers * perPub
+	)
+	l := newEventLog(32)
+
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < perPub; i++ {
+				l.add(Event{Type: "item", Index: p*perPub + i})
+			}
+		}(p)
+	}
+
+	consume := func(slow bool) (seen int64, finalNext int64) {
+		var cursor int64
+		for {
+			evs, dropped, next, closed, wait := l.read(cursor)
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq != evs[i-1].Seq+1 {
+					t.Errorf("non-contiguous seqs in one read: %d then %d",
+						evs[i-1].Seq, evs[i].Seq)
+				}
+			}
+			seen += int64(len(evs)) + dropped
+			cursor = next
+			if closed {
+				return seen, next
+			}
+			if slow {
+				time.Sleep(500 * time.Microsecond)
+			} else {
+				<-wait
+			}
+		}
+	}
+
+	var readWG sync.WaitGroup
+	results := make([]int64, 2)
+	for i, slow := range []bool{false, true} {
+		readWG.Add(1)
+		go func(i int, slow bool) {
+			defer readWG.Done()
+			seen, next := consume(slow)
+			results[i] = seen
+			if next != total {
+				t.Errorf("reader %d final cursor = %d, want %d", i, next, total)
+			}
+		}(i, slow)
+	}
+
+	pubWG.Wait()
+	l.close()
+	readWG.Wait()
+	for i, seen := range results {
+		if seen != total {
+			t.Errorf("reader %d accounted for %d events (delivered+dropped), want %d",
+				i, seen, total)
+		}
+	}
+}
+
+// TestSSESubscribersRaceStress exercises the full SSE path under -race with
+// the engine's worker goroutines publishing concurrently: several fast
+// subscribers stream a running job to completion, a slow subscriber drains
+// the body in tiny sips, and one subscriber cancels mid-stream. The handler
+// must neither deadlock nor race, fast subscribers must observe the
+// terminal state frame, and cancellation must release the handler promptly.
+func TestSSESubscribersRaceStress(t *testing.T) {
+	srv := startServer(t, Config{Workers: 4, SampleInterval: 512})
+	st := submit(t, srv, `{
+		"workloads": ["dh.ilp.2.1"],
+		"schemes": ["icount", "stall", "flush+", "cssp"],
+		"trace_lens": [20000]
+	}`)
+
+	var wg sync.WaitGroup
+	var terminal atomic.Int32
+
+	// Fast subscribers: drain the whole stream as produced.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/v1/campaigns/" + st.ID + "/events")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Errorf("fast subscriber: %v", err)
+				return
+			}
+			if !containsStateFrame(string(body)) {
+				t.Error("fast subscriber stream ended without a terminal state frame")
+				return
+			}
+			terminal.Add(1)
+		}()
+	}
+
+	// Slow subscriber: tiny reads with pauses, so the job finishes (and the
+	// ring overwrites history) while the body is still being drained. The
+	// bounded ring means the server never buffers per-reader; the stream
+	// still terminates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/campaigns/" + st.ID + "/events")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 64)
+		for {
+			_, err := resp.Body.Read(buf)
+			if err != nil {
+				if err != io.EOF {
+					t.Errorf("slow subscriber: %v", err)
+				}
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Cancelling subscriber: drop the connection mid-stream; the handler
+	// goroutine must return via the request context, not hang on the ring.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			srv.URL+"/v1/campaigns/"+st.ID+"/events", nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 256)
+		if _, err := resp.Body.Read(buf); err != nil && err != io.EOF {
+			t.Errorf("cancelling subscriber first read: %v", err)
+		}
+		cancel()
+		// Draining after cancel must fail fast, not block.
+		done := make(chan struct{})
+		go func() {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // error expected
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("cancelled SSE stream did not unblock")
+		}
+	}()
+
+	wg.Wait()
+	if got := terminal.Load(); got != 3 {
+		t.Fatalf("%d of 3 fast subscribers saw the terminal frame", got)
+	}
+}
+
+func containsStateFrame(body string) bool {
+	return strings.Contains(body, "event: state")
+}

@@ -86,19 +86,29 @@ func NewIssueQueue[T comparable](capacity, n int) *IssueQueue[T] {
 }
 
 // Capacity returns the total number of entries.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) Capacity() int { return len(q.slots) }
 
 // Len returns the number of occupied entries.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) Len() int { return q.n }
 
 // Free returns the number of available entries.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) Free() int { return len(q.slots) - q.n }
 
 // Occupancy returns the number of entries held by thread t.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) Occupancy(t int) int { return q.occ[t] }
 
 // Insert appends payload for thread t in age order and returns the slot
 // handle for O(1) removal. It reports false when the queue is full.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) Insert(payload T, t int) (int32, bool) {
 	s := q.freeHead
 	if s == nilSlot {
@@ -124,6 +134,8 @@ func (q *IssueQueue[T]) Insert(payload T, t int) (int32, bool) {
 
 // Scan calls fn on every entry in age order (oldest first). If fn returns
 // false the scan stops early. fn must not mutate the queue.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) Scan(fn func(payload T, thread int) bool) {
 	for s := q.head; s != nilSlot; s = q.slots[s].next {
 		if !fn(q.slots[s].payload, int(q.slots[s].thread)) {
@@ -136,6 +148,8 @@ func (q *IssueQueue[T]) Scan(fn func(payload T, thread int) bool) {
 // O(1), preserving age order of the survivors. The payload must match the
 // slot's occupant — a cheap guard against stale handles after slot reuse —
 // and also leaves the ready list if it was on it.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) RemoveAt(s int32, payload T) {
 	sl := &q.slots[s]
 	if !sl.live || sl.payload != payload {
@@ -165,6 +179,8 @@ func (q *IssueQueue[T]) RemoveAt(s int32, payload T) {
 // The payload also leaves the ready list if it was on it. It reports whether
 // the payload was present. Callers holding the Insert handle should prefer
 // the O(1) RemoveAt.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) Remove(payload T) bool {
 	for s := q.head; s != nilSlot; s = q.slots[s].next {
 		if q.slots[s].payload == payload {
@@ -178,6 +194,8 @@ func (q *IssueQueue[T]) Remove(payload T) bool {
 // RemoveIf deletes every entry for which fn returns true and returns the
 // number removed. Age order of survivors is preserved and removed entries
 // leave the ready list.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) RemoveIf(fn func(payload T, thread int) bool) int {
 	removed := 0
 	for s := q.head; s != nilSlot; {
@@ -196,19 +214,26 @@ func (q *IssueQueue[T]) RemoveIf(fn func(payload T, thread int) bool) int {
 // rename sequence number). The core calls it when the last outstanding
 // source of an entry becomes ready, or at dispatch for entries whose sources
 // are all ready already. A payload must be marked at most once while queued.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) MarkReady(payload T, age uint64) {
 	if n := len(q.ready); n > 0 && q.ready[n-1].age > age {
 		q.unsorted = true
 	}
+	//smtlint:allow ready list reuses its backing array; bounded by IQ occupancy
 	q.ready = append(q.ready, readyEnt[T]{payload: payload, age: age})
 }
 
 // ReadyLen returns the number of entries on the ready list.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) ReadyLen() int { return len(q.ready) }
 
 // ScanReady calls fn on every ready entry, oldest (smallest age tag) first.
 // If fn returns false the scan stops early. fn must not mutate the queue;
 // collect first, then remove.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) ScanReady(fn func(payload T) bool) {
 	if q.unsorted {
 		slices.SortFunc(q.ready, func(a, b readyEnt[T]) int {
@@ -231,9 +256,12 @@ func (q *IssueQueue[T]) ScanReady(fn func(payload T) bool) {
 }
 
 // unmarkReady drops payload from the ready list, preserving order.
+//
+//smtlint:noalloc
 func (q *IssueQueue[T]) unmarkReady(payload T) {
 	for i := range q.ready {
 		if q.ready[i].payload == payload {
+			//smtlint:allow copy-down removal within existing capacity; never grows
 			q.ready = append(q.ready[:i], q.ready[i+1:]...)
 			return
 		}
@@ -254,6 +282,8 @@ const PortCount = 3
 
 // portsFor returns the bitmask of ports able to execute class c:
 // P0/P1 execute int and fp/simd, P2 executes int and memory.
+//
+//smtlint:noalloc
 func portsFor(c isa.Class) uint8 {
 	switch c {
 	case isa.Int, isa.IntMul, isa.Branch, isa.Nop:
@@ -268,6 +298,8 @@ func portsFor(c isa.Class) uint8 {
 }
 
 // Reset clears the per-cycle port state.
+//
+//smtlint:noalloc
 func (p *Ports) Reset() {
 	p.busy = [3]bool{}
 	p.issued = 0
@@ -275,6 +307,8 @@ func (p *Ports) Reset() {
 
 // TryIssue claims a free compatible port for class c. It returns the port
 // index and true on success.
+//
+//smtlint:noalloc
 func (p *Ports) TryIssue(c isa.Class) (int, bool) {
 	mask := portsFor(c)
 	for i := 0; i < PortCount; i++ {
@@ -291,6 +325,8 @@ func (p *Ports) TryIssue(c isa.Class) (int, bool) {
 // cycle (without claiming it). Used by the workload-imbalance metric
 // (Fig. 5): a ready uop that cannot issue here but could have issued in the
 // other cluster counts as imbalance.
+//
+//smtlint:noalloc
 func (p *Ports) HasFree(c isa.Class) bool {
 	mask := portsFor(c)
 	for i := 0; i < PortCount; i++ {
@@ -302,4 +338,6 @@ func (p *Ports) HasFree(c isa.Class) bool {
 }
 
 // Issued returns the number of uops issued through the ports this cycle.
+//
+//smtlint:noalloc
 func (p *Ports) Issued() int { return p.issued }

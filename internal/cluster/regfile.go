@@ -84,16 +84,24 @@ const (
 )
 
 // Total returns the number of physical registers of kind k.
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) Total(k isa.RegKind) int { return rf.total[k] }
 
 // FreeCount returns the number of unallocated registers of kind k.
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) FreeCount(k isa.RegKind) int { return len(rf.free[k]) }
 
 // InUse returns the number of registers of kind k held by thread t.
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) InUse(k isa.RegKind, t int) int { return rf.inUse[k][t] }
 
 // Alloc takes a register of kind k for thread t. The register starts
 // not-ready. It returns -1 and false when the file is exhausted.
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) Alloc(k isa.RegKind, t int) (int32, bool) {
 	fl := rf.free[k]
 	if len(fl) == 0 {
@@ -110,6 +118,8 @@ func (rf *RegFile[W]) Alloc(k isa.RegKind, t int) (int32, bool) {
 }
 
 // Free returns register idx of kind k held by thread t to the free list.
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) Free(k isa.RegKind, t int, idx int32) {
 	if idx < 0 || int(idx) >= rf.total[k] {
 		panic(fmt.Sprintf("cluster: Free(%v, %d) out of range", k, idx))
@@ -121,12 +131,15 @@ func (rf *RegFile[W]) Free(k isa.RegKind, t int, idx int32) {
 	if rf.inUse[k][t] < 0 {
 		panic("cluster: register free underflow")
 	}
+	//smtlint:allow free list refills within its construction-time capacity
 	rf.free[k] = append(rf.free[k], idx)
 }
 
 // SetReady marks register idx of kind k data-ready and broadcasts to its
 // waiters, in subscription order, through OnWake. A register already ready
 // broadcasts nothing (SetReady is idempotent).
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) SetReady(k isa.RegKind, idx int32) {
 	if rf.ready[k][idx] {
 		return
@@ -144,20 +157,26 @@ func (rf *RegFile[W]) SetReady(k isa.RegKind, idx int32) {
 	for i, w := range ws {
 		ws[i] = zero
 		if rf.OnWake != nil {
+			//smtlint:allow wakeup hook; the core installs an annotated callback
 			rf.OnWake(w)
 		}
 	}
 }
 
 // IsReady reports whether register idx of kind k is data-ready.
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) IsReady(k isa.RegKind, idx int32) bool { return rf.ready[k][idx] }
 
 // AddWaiter subscribes w to register idx of kind k. The register must not be
 // ready yet: consumers of a ready register never wait (check IsReady first).
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) AddWaiter(k isa.RegKind, idx int32, w W) {
 	if rf.ready[k][idx] {
 		panic(fmt.Sprintf("cluster: AddWaiter(%v, %d) on ready register", k, idx))
 	}
+	//smtlint:allow waiter lists retain their backing arrays across register reuse
 	rf.waiters[k][idx] = append(rf.waiters[k][idx], w)
 }
 
@@ -165,6 +184,8 @@ func (rf *RegFile[W]) AddWaiter(k isa.RegKind, idx int32, w W) {
 // (the squash path). It reports whether an occurrence was found; removing an
 // absent waiter is a no-op, so callers may unsubscribe sources that already
 // woke them.
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) RemoveWaiter(k isa.RegKind, idx int32, w W) bool {
 	ws := rf.waiters[k][idx]
 	for i := range ws {
@@ -181,6 +202,8 @@ func (rf *RegFile[W]) RemoveWaiter(k isa.RegKind, idx int32, w W) bool {
 
 // WaiterCount returns the number of subscriptions on register idx of kind k
 // (tests and invariant checks).
+//
+//smtlint:noalloc
 func (rf *RegFile[W]) WaiterCount(k isa.RegKind, idx int32) int {
 	return len(rf.waiters[k][idx])
 }

@@ -7,6 +7,8 @@ import (
 
 // commitEntry retires e: frees the previous mappings of its destination
 // logical register, releases its MOB entry and returns it to the pool.
+//
+//smtlint:noalloc
 func (p *Processor) commitEntry(t int, e *frontend.ROBEntry) {
 	if e.WrongPath {
 		panic("core: wrong-path uop reached commit")
@@ -41,6 +43,8 @@ func (p *Processor) commitEntry(t int, e *frontend.ROBEntry) {
 
 // commit retires up to CommitWidth completed uops in program order per
 // thread, rotating which thread drains first each cycle.
+//
+//smtlint:noalloc
 func (p *Processor) commit() {
 	n := p.cfg.NumThreads
 	budget := p.cfg.CommitWidth
@@ -61,6 +65,7 @@ func (p *Processor) commit() {
 					break
 				}
 				if debugPre != nil {
+					//smtlint:allow debug hook; compiled out unless debugging
 					debugPre("store", e.Uop.Addr, false, p.mem.ProbeL2(e.Uop.Addr), p.now)
 				}
 				p.mem.Access(e.Uop.Addr, p.now)

@@ -9,6 +9,8 @@ import (
 // selector's eligibility also gates fetch: Stall and Flush+ stop fetching
 // a thread with a pending L2 miss (refs [19], [25]), freeing the fetch
 // bandwidth for the other threads.
+//
+//smtlint:noalloc
 func (p *Processor) canFetch(t int) bool {
 	ts := p.threads[t]
 	if p.now < ts.fetchStallUntil {
@@ -27,6 +29,8 @@ func (p *Processor) canFetch(t int) bool {
 // fetches from the fetchable thread with the fewest uops in its private
 // queue (§3), up to FetchWidth uops. A predicted-wrong branch switches the
 // thread to wrong-path fetch until the branch resolves.
+//
+//smtlint:noalloc
 func (p *Processor) fetch() {
 	pick := -1
 	best := 1 << 30

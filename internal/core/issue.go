@@ -16,6 +16,8 @@ var debugMiss func(addr uint64, wrongPath bool, now int64)
 var debugPre func(kind string, addr uint64, wrongPath bool, inL2 bool, now int64)
 
 // imbClass maps a uop class onto the Fig. 5 grouping.
+//
+//smtlint:noalloc
 func imbClass(c isa.Class) metrics.ImbClass {
 	switch c {
 	case isa.Fp:
@@ -29,6 +31,8 @@ func imbClass(c isa.Class) metrics.ImbClass {
 
 // imbRep is a representative class per imbalance group, used to test port
 // availability in the other cluster.
+//
+//smtlint:noalloc
 func imbRep(c metrics.ImbClass) isa.Class {
 	switch c {
 	case metrics.ImbFp:
@@ -41,6 +45,8 @@ func imbRep(c metrics.ImbClass) isa.Class {
 }
 
 // entryReady reports whether all source operands of e are data-ready.
+//
+//smtlint:noalloc
 func (p *Processor) entryReady(e *frontend.ROBEntry) bool {
 	if e.IsCopy() {
 		return e.CopySrcPhys < 0 || p.rfs[e.SrcCluster].IsReady(e.DstKind, e.CopySrcPhys)
@@ -54,6 +60,8 @@ func (p *Processor) entryReady(e *frontend.ROBEntry) bool {
 }
 
 // schedule enqueues e's completion at cycle at.
+//
+//smtlint:noalloc
 func (p *Processor) schedule(e *frontend.ROBEntry, at int64) {
 	if at <= p.now {
 		at = p.now + 1
@@ -79,6 +87,8 @@ func (p *Processor) schedule(e *frontend.ROBEntry, at int64) {
 
 // executeLoad performs the memory access of a ready load at issue time and
 // returns its completion cycle.
+//
+//smtlint:noalloc
 func (p *Processor) executeLoad(e *frontend.ROBEntry) int64 {
 	u := &e.Uop
 	p.mobq.Resolve(e.MOBEntry, u.Addr)
@@ -87,11 +97,13 @@ func (p *Processor) executeLoad(e *frontend.ROBEntry) int64 {
 		return p.now + 2
 	}
 	if debugPre != nil {
+		//smtlint:allow debug hook; compiled out unless debugging
 		debugPre("load", u.Addr, e.WrongPath, p.mem.ProbeL2(u.Addr), p.now)
 	}
 	res := p.mem.Access(u.Addr, p.now)
 	if res.Level == cachesim.MemHit {
 		if debugMiss != nil {
+			//smtlint:allow debug hook; compiled out unless debugging
 			debugMiss(u.Addr, e.WrongPath, p.now)
 		}
 		e.MissedL2 = true
@@ -107,6 +119,8 @@ func (p *Processor) executeLoad(e *frontend.ROBEntry) int64 {
 // issueCluster selects and dispatches ready uops from cluster c, oldest
 // first, respecting port, L1-port, MSHR and link constraints. It records
 // ready-but-unissued uops in the leftover matrix for the Fig. 5 metric.
+//
+//smtlint:noalloc
 func (p *Processor) issueCluster(c int) (issuedAny bool) {
 	ready := p.scratchReady[:0]
 	if p.cfg.PollingWakeup {
@@ -114,16 +128,19 @@ func (p *Processor) issueCluster(c int) (issuedAny bool) {
 		// re-testing every waiting entry's sources every cycle.
 		p.iqs[c].Scan(func(e *frontend.ROBEntry, _ int) bool {
 			if p.entryReady(e) {
+				//smtlint:allow scratch retained on the processor; amortized zero-alloc after warmup
 				ready = append(ready, e)
 			}
 			return true
 		})
 	} else {
 		p.iqs[c].ScanReady(func(e *frontend.ROBEntry) bool {
+			//smtlint:allow scratch retained on the processor; amortized zero-alloc after warmup
 			ready = append(ready, e)
 			return true
 		})
 		if debugWakeup {
+			//smtlint:allow debug-only cross-check behind the debugWakeup flag
 			p.checkReadyList(c, ready)
 		}
 	}
@@ -178,6 +195,8 @@ func (p *Processor) issueCluster(c int) (issuedAny bool) {
 
 // issue runs the per-cluster select/dispatch and accumulates the Fig. 5
 // workload-imbalance histogram.
+//
+//smtlint:noalloc
 func (p *Processor) issue() {
 	for c := range p.ports {
 		p.ports[c].Reset()

@@ -73,9 +73,12 @@ type threadState struct {
 	warmCommitted uint64
 }
 
+//smtlint:noalloc
 func (ts *threadState) traceDone() bool { return ts.fetchIdx >= len(ts.prog.Trace) }
 
 // finished reports whether the thread has drained completely.
+//
+//smtlint:noalloc
 func (ts *threadState) finished() bool {
 	return ts.traceDone() && !ts.wrongPath && ts.fq.Len() == 0 && ts.rob.Len() == 0
 }
@@ -229,6 +232,7 @@ func (p *Processor) Predictor() *bpred.Predictor { return p.pred }
 
 // entry pool --------------------------------------------------------------
 
+//smtlint:noalloc
 func (p *Processor) getEntry() *frontend.ROBEntry {
 	if n := len(p.pool); n > 0 {
 		e := p.pool[n-1]
@@ -236,6 +240,7 @@ func (p *Processor) getEntry() *frontend.ROBEntry {
 		e.Reset()
 		return e
 	}
+	//smtlint:allow pool refill; cold once the pool reaches steady-state population
 	e := &frontend.ROBEntry{}
 	e.Reset()
 	return e
@@ -246,8 +251,10 @@ func (p *Processor) getEntry() *frontend.ROBEntry {
 // population stabilizes far below this in bounded configurations.
 const entryPoolCap = 4096
 
+//smtlint:noalloc
 func (p *Processor) putEntry(e *frontend.ROBEntry) {
 	if len(p.pool) < entryPoolCap {
+		//smtlint:allow pool growth bounded by entryPoolCap
 		p.pool = append(p.pool, e)
 	}
 }
@@ -264,6 +271,8 @@ type wheelBucket struct {
 
 // iqCluster returns the cluster whose issue queue holds e: copies wait in
 // their source cluster, everything else in its execution cluster.
+//
+//smtlint:noalloc
 func iqCluster(e *frontend.ROBEntry) int {
 	if e.IsCopy() {
 		return e.SrcCluster
@@ -273,6 +282,8 @@ func iqCluster(e *frontend.ROBEntry) int {
 
 // wrapIdx reduces i into [0, n) given i < 2n, the round-robin rotation of
 // the per-cycle loops, without the hardware divide of a variable modulo.
+//
+//smtlint:noalloc
 func wrapIdx(i, n int) int {
 	if i >= n {
 		i -= n
@@ -285,21 +296,33 @@ func wrapIdx(i, n int) int {
 var _ policy.Machine = (*Processor)(nil)
 
 // NumThreads implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) NumThreads() int { return p.cfg.NumThreads }
 
 // NumClusters implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) NumClusters() int { return p.cfg.NumClusters }
 
 // IQSize implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) IQSize() int { return p.cfg.IQSize }
 
 // IQFree implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) IQFree(c int) int { return p.iqs[c].Free() }
 
 // IQOcc implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) IQOcc(c, t int) int { return p.iqs[c].Occupancy(t) }
 
 // RFTotal implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) RFTotal(k isa.RegKind) int {
 	total := 0
 	for _, rf := range p.rfs {
@@ -309,6 +332,8 @@ func (p *Processor) RFTotal(k isa.RegKind) int {
 }
 
 // RFFree implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) RFFree(k isa.RegKind) int {
 	total := 0
 	for _, rf := range p.rfs {
@@ -318,6 +343,8 @@ func (p *Processor) RFFree(k isa.RegKind) int {
 }
 
 // RFInUse implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) RFInUse(t int, k isa.RegKind) int {
 	total := 0
 	for _, rf := range p.rfs {
@@ -327,16 +354,26 @@ func (p *Processor) RFInUse(t int, k isa.RegKind) int {
 }
 
 // RFClusterTotal implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) RFClusterTotal(k isa.RegKind) int { return p.rfs[0].Total(k) }
 
 // RFClusterFree implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) RFClusterFree(c int, k isa.RegKind) int { return p.rfs[c].FreeCount(k) }
 
 // RFClusterInUse implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) RFClusterInUse(c, t int, k isa.RegKind) int { return p.rfs[c].InUse(k, t) }
 
 // Now implements policy.Machine.
+//
+//smtlint:noalloc
 func (p *Processor) Now() int64 { return p.now }
 
 // Committed implements policy.PerfReader for adaptive schemes.
+//
+//smtlint:noalloc
 func (p *Processor) Committed(t int) uint64 { return p.threads[t].committed }

@@ -22,6 +22,7 @@ type renamePlan struct {
 	robNeeded int
 }
 
+//smtlint:noalloc
 func (pl *renamePlan) reset() {
 	pl.copies = pl.copies[:0]
 	pl.needRegs = [isa.NumRegKinds]int{}
@@ -42,6 +43,8 @@ const (
 
 // buildPlan fills p.scratchPlan with the resources uop needs in cluster c
 // for thread t. Copies are deduplicated per logical register.
+//
+//smtlint:noalloc
 func (p *Processor) buildPlan(t int, u *isa.Uop, c int) *renamePlan {
 	pl := &p.scratchPlan
 	pl.reset()
@@ -73,6 +76,7 @@ func (p *Processor) buildPlan(t int, u *isa.Uop, c int) *renamePlan {
 			}
 		}
 		kind := isa.KindOf(reg)
+		//smtlint:allow copy list bounded by a uop's source count; plan buffer reused
 		pl.copies = append(pl.copies, copyPlan{reg: reg, srcCluster: srcC, kind: kind})
 		pl.needRegs[kind]++
 		pl.needSrcIQ[srcC]++
@@ -91,6 +95,8 @@ func (p *Processor) buildPlan(t int, u *isa.Uop, c int) *renamePlan {
 // once the cheap issue-queue gate has passed, which skips it entirely on
 // the most common stall. On success the surviving plan is returned for
 // place.
+//
+//smtlint:noalloc
 func (p *Processor) tryPlace(t, c int, u *isa.Uop) (*renamePlan, placeFail, isa.RegKind) {
 	// Issue-queue space: the uop's own entry obeys the scheme cap; the
 	// copies it forces in the source clusters need physical space only
@@ -128,6 +134,8 @@ func (p *Processor) tryPlace(t, c int, u *isa.Uop) (*renamePlan, placeFail, isa.
 
 // place renames the uop into cluster c, inserting the planned copies first.
 // All capacity checks have passed; allocation cannot fail.
+//
+//smtlint:noalloc
 func (p *Processor) place(t, c int, fu *frontend.FetchedUop, pl *renamePlan) {
 	ts := p.threads[t]
 
@@ -236,6 +244,8 @@ func (p *Processor) place(t, c int, fu *frontend.FetchedUop, pl *renamePlan) {
 // renameOne attempts to rename the head uop of thread t. It reports whether
 // the uop was consumed; on failure the appropriate stall counters were
 // updated.
+//
+//smtlint:noalloc
 func (p *Processor) renameOne(t int, fu *frontend.FetchedUop) bool {
 	u := &fu.Uop
 	ts := p.threads[t]
@@ -311,6 +321,8 @@ func (p *Processor) renameOne(t int, fu *frontend.FetchedUop) bool {
 
 // renameThread renames up to RenameWidth uops from thread t's fetch queue,
 // returning how many were consumed.
+//
+//smtlint:noalloc
 func (p *Processor) renameThread(t int) int {
 	ts := p.threads[t]
 	count := 0
@@ -328,6 +340,8 @@ func (p *Processor) renameThread(t int) int {
 // uops, rename from the one with the fewest uops between rename and issue
 // (Icount ordering, §3/ref [1]); if it cannot make progress the next
 // thread in the ordering gets the slot. Only one thread renames per cycle.
+//
+//smtlint:noalloc
 func (p *Processor) rename() {
 	n := p.cfg.NumThreads
 	order := p.scratchOrder[:0]
@@ -336,6 +350,7 @@ func (p *Processor) rename() {
 		if p.threads[t].fq.Len() == 0 || !p.sel.Eligible(t, p) {
 			continue
 		}
+		//smtlint:allow scratch retained on the processor; amortized zero-alloc after warmup
 		order = append(order, t)
 	}
 	p.scratchOrder = order // keep the (possibly grown) backing array
@@ -346,6 +361,7 @@ func (p *Processor) rename() {
 	// the round-robin rotation among equal counts.
 	ic := p.scratchIcount[:0]
 	for _, t := range order {
+		//smtlint:allow scratch retained on the processor; amortized zero-alloc after warmup
 		ic = append(ic, p.icount(t))
 	}
 	p.scratchIcount = ic
@@ -363,6 +379,8 @@ func (p *Processor) rename() {
 }
 
 // icount returns thread t's uop count between rename and issue.
+//
+//smtlint:noalloc
 func (p *Processor) icount(t int) int {
 	return policy.IQTotalOcc(p, t)
 }

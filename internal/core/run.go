@@ -11,6 +11,8 @@ import (
 // processCompletions drains the event wheel bucket for the current cycle:
 // destination registers become ready, branches resolve, miss-gated policies
 // are released. Squashed entries are returned to the pool here.
+//
+//smtlint:noalloc
 func (p *Processor) processCompletions() {
 	b := &p.wheel[p.now&p.wheelMask]
 	e := b.head
@@ -43,6 +45,8 @@ func (p *Processor) processCompletions() {
 }
 
 // endCycle runs the per-cycle policy hooks and rotates arbitration.
+//
+//smtlint:noalloc
 func (p *Processor) endCycle() {
 	for c := 0; c < p.cfg.NumClusters; c++ {
 		for t := 0; t < p.cfg.NumThreads; t++ {
@@ -57,6 +61,8 @@ func (p *Processor) endCycle() {
 }
 
 // Step advances the machine one cycle.
+//
+//smtlint:noalloc
 func (p *Processor) Step() {
 	p.processCompletions()
 	p.handleFlushes()
@@ -71,6 +77,8 @@ func (p *Processor) Step() {
 // finished reports the run-termination condition: by default the run ends
 // when the first thread drains (standard SMT methodology, avoiding a
 // single-threaded tail); with RunToCompletion it ends when all drain.
+//
+//smtlint:noalloc
 func (p *Processor) finished() bool {
 	if p.cfg.RunToCompletion {
 		for _, ts := range p.threads {
@@ -92,6 +100,8 @@ func (p *Processor) finished() bool {
 // thread in aggregate. The threshold is aggregate rather than per-thread so
 // that a strongly asymmetric pair (a fast thread sharing with a crawling
 // memory-bound one) still finishes warming before the run ends.
+//
+//smtlint:noalloc
 func (p *Processor) warmupDone() bool {
 	var total uint64
 	for _, ts := range p.threads {
@@ -165,6 +175,8 @@ func (p *Processor) SetSampler(interval int64, fn func(metrics.Sample)) {
 }
 
 // sampleCounters reads the counter totals a sample windows over.
+//
+//smtlint:noalloc
 func (p *Processor) sampleCounters() sampleBase {
 	var committed uint64
 	for _, c := range p.stats.Committed {
@@ -191,6 +203,8 @@ func (p *Processor) sampleCounters() sampleBase {
 // when the sampler attaches and at the warm-up stats reset (the stats
 // counters drop to zero there, so a window spanning the reset would go
 // negative).
+//
+//smtlint:noalloc
 func (p *Processor) rebaseSample() {
 	if p.sampleFn != nil {
 		p.sampleBase = p.sampleCounters()
@@ -199,6 +213,8 @@ func (p *Processor) rebaseSample() {
 
 // maybeSample closes the current observation window if it is due. Invoked
 // at the RunCtx poll point; allocation-free.
+//
+//smtlint:noalloc
 func (p *Processor) maybeSample() {
 	if p.sampleFn == nil || p.now-p.sampleBase.cycle < p.sampleEvery {
 		return
@@ -216,6 +232,7 @@ func (p *Processor) maybeSample() {
 	s.IPC = float64(s.Committed) / float64(window)
 	s.IQOcc = float64(cur.iqOccSum-p.sampleBase.iqOccSum) / float64(window)
 	p.sampleBase = cur
+	//smtlint:allow sampler attach point; a cold, caller-supplied observer
 	p.sampleFn(s)
 }
 

@@ -8,6 +8,8 @@ import (
 
 // notifyMissStart forwards an L2-miss start to the selector and any policy
 // component observing misses (DCRA-style schemes).
+//
+//smtlint:noalloc
 func (p *Processor) notifyMissStart(t int, seq uint64) {
 	p.sel.MissStart(t, seq, p.now)
 	if o, ok := p.iqPol.(policy.MissObserver); ok {
@@ -19,6 +21,8 @@ func (p *Processor) notifyMissStart(t int, seq uint64) {
 }
 
 // notifyMissEnd forwards an L2-miss completion.
+//
+//smtlint:noalloc
 func (p *Processor) notifyMissEnd(t int) {
 	p.sel.MissEnd(t, p.now)
 	if o, ok := p.iqPol.(policy.MissObserver); ok {
@@ -34,6 +38,8 @@ func (p *Processor) notifyMissEnd(t int) {
 // releasing issue-queue, register, MOB and ROB resources. It returns the
 // history checkpoint of the oldest squashed correct-path branch, if any,
 // so flush paths can rewind the predictor history.
+//
+//smtlint:noalloc
 func (p *Processor) squashAfter(t int, boundary uint64) (ckpt uint64, haveCkpt bool) {
 	ts := p.threads[t]
 	for ts.rob.Len() > 0 {
@@ -86,6 +92,8 @@ func (p *Processor) squashAfter(t int, boundary uint64) (ckpt uint64, haveCkpt b
 // resolveBranch handles a branch completing execution: predictor training
 // and, on misprediction, squash + front-end redirect with the Table 1
 // 14-cycle misprediction pipeline penalty.
+//
+//smtlint:noalloc
 func (p *Processor) resolveBranch(e *frontend.ROBEntry) {
 	t := e.Thread
 	p.pred.Resolve(t, e.Uop.PC, e.HistCheckpoint, e.Uop.Taken, e.Mispredicted)
@@ -107,6 +115,8 @@ func (p *Processor) resolveBranch(e *frontend.ROBEntry) {
 // (Flush+): squash everything younger than the missing load, clear the
 // fetch queue and re-fetch from the uop after the load once the front-end
 // redirect penalty elapses.
+//
+//smtlint:noalloc
 func (p *Processor) handleFlushes() {
 	for {
 		t, seq, ok := p.sel.PendingFlush()

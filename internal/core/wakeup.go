@@ -25,6 +25,8 @@ var debugWakeup bool
 
 // wake is installed as every RegFile's OnWake callback: one source of e
 // became ready.
+//
+//smtlint:noalloc
 func (p *Processor) wake(e *frontend.ROBEntry) {
 	e.WaitCount--
 	if e.WaitCount < 0 {
@@ -39,6 +41,8 @@ func (p *Processor) wake(e *frontend.ROBEntry) {
 // entry with none joins the ready list immediately. Called at dispatch, after
 // the entry entered its issue queue. Copies wait on their single cross-
 // cluster source; everything else waits on its own cluster's registers.
+//
+//smtlint:noalloc
 func (p *Processor) linkWakeup(e *frontend.ROBEntry) {
 	if p.cfg.PollingWakeup {
 		return
@@ -66,6 +70,8 @@ func (p *Processor) linkWakeup(e *frontend.ROBEntry) {
 // registers. Sources that already broadcast are no longer subscribed;
 // RemoveWaiter tolerates them. The ready list is purged separately, by the
 // IssueQueue.RemoveAt call of the squash path.
+//
+//smtlint:noalloc
 func (p *Processor) unlinkWakeup(e *frontend.ROBEntry) {
 	if p.cfg.PollingWakeup || e.WaitCount == 0 {
 		return

@@ -23,6 +23,8 @@ type RegMap struct {
 }
 
 // AnyValid reports whether any cluster holds a live copy.
+//
+//smtlint:noalloc
 func (m *RegMap) AnyValid() bool {
 	for _, v := range m.Valid {
 		if v {
@@ -38,17 +40,25 @@ type RAT struct {
 }
 
 // Get returns the mapping of logical register r.
+//
+//smtlint:noalloc
 func (r *RAT) Get(reg int16) RegMap { return r.maps[reg] }
 
 // GetRef returns a read-only pointer to the mapping of logical register r,
 // avoiding the 20-byte copy on the rename hot path. Callers must not mutate
 // through it; use Set/SetCluster/Define.
+//
+//smtlint:noalloc
 func (r *RAT) GetRef(reg int16) *RegMap { return &r.maps[reg] }
 
 // Set replaces the mapping of logical register reg.
+//
+//smtlint:noalloc
 func (r *RAT) Set(reg int16, m RegMap) { r.maps[reg] = m }
 
 // SetCluster adds/overwrites the mapping of reg in cluster c.
+//
+//smtlint:noalloc
 func (r *RAT) SetCluster(reg int16, c int, phys int32) {
 	r.maps[reg].Valid[c] = true
 	r.maps[reg].Phys[c] = phys
@@ -56,6 +66,8 @@ func (r *RAT) SetCluster(reg int16, c int, phys int32) {
 
 // Define makes reg live only in cluster c at phys (a new architectural
 // definition kills copies in other clusters).
+//
+//smtlint:noalloc
 func (r *RAT) Define(reg int16, c int, phys int32) {
 	var m RegMap
 	m.Valid[c] = true
@@ -138,12 +150,16 @@ type ROBEntry struct {
 }
 
 // Reset blanks e for reuse from a pool.
+//
+//smtlint:noalloc
 func (e *ROBEntry) Reset() {
 	*e = ROBEntry{DstPhys: -1, CopySrcPhys: -1, TraceIdx: -1, IQSlot: -1}
 	e.SrcPhys[0], e.SrcPhys[1] = -1, -1
 }
 
 // IsCopy reports whether the entry is an inter-cluster copy.
+//
+//smtlint:noalloc
 func (e *ROBEntry) IsCopy() bool { return e.Uop.Class == isa.Copy }
 
 // ROB is one thread's reorder-buffer section (§3: the ROB is split into as
@@ -174,13 +190,19 @@ func NewROB(capacity int) *ROB {
 }
 
 // Capacity returns the configured capacity (0 = unbounded).
+//
+//smtlint:noalloc
 func (r *ROB) Capacity() int { return r.capacity }
 
 // Len returns the number of in-flight entries.
+//
+//smtlint:noalloc
 func (r *ROB) Len() int { return r.n }
 
 // Free returns the number of allocatable entries; unbounded ROBs always
 // report a large positive number.
+//
+//smtlint:noalloc
 func (r *ROB) Free() int {
 	if r.capacity <= 0 {
 		return 1 << 30
@@ -189,6 +211,8 @@ func (r *ROB) Free() int {
 }
 
 // idx maps logical position i (0 = oldest) to a buffer index.
+//
+//smtlint:noalloc
 func (r *ROB) idx(i int) int {
 	i += r.head
 	if i >= len(r.buf) {
@@ -208,11 +232,14 @@ func (r *ROB) grow() {
 }
 
 // Push appends e at the tail. It reports false when the ROB is full.
+//
+//smtlint:noalloc
 func (r *ROB) Push(e *ROBEntry) bool {
 	if r.capacity > 0 && r.n >= r.capacity {
 		return false
 	}
 	if r.n == len(r.buf) {
+		//smtlint:allow amortized doubling for the unbounded-ROB configuration
 		r.grow()
 	}
 	r.buf[r.idx(r.n)] = e
@@ -221,6 +248,8 @@ func (r *ROB) Push(e *ROBEntry) bool {
 }
 
 // Head returns the oldest entry, or nil when empty.
+//
+//smtlint:noalloc
 func (r *ROB) Head() *ROBEntry {
 	if r.n == 0 {
 		return nil
@@ -229,6 +258,8 @@ func (r *ROB) Head() *ROBEntry {
 }
 
 // PopHead removes and returns the oldest entry.
+//
+//smtlint:noalloc
 func (r *ROB) PopHead() *ROBEntry {
 	e := r.buf[r.head]
 	r.buf[r.head] = nil
@@ -241,6 +272,8 @@ func (r *ROB) PopHead() *ROBEntry {
 }
 
 // Tail returns the youngest entry, or nil when empty.
+//
+//smtlint:noalloc
 func (r *ROB) Tail() *ROBEntry {
 	if r.n == 0 {
 		return nil
@@ -249,6 +282,8 @@ func (r *ROB) Tail() *ROBEntry {
 }
 
 // PopTail removes and returns the youngest entry (squash path).
+//
+//smtlint:noalloc
 func (r *ROB) PopTail() *ROBEntry {
 	i := r.idx(r.n - 1)
 	e := r.buf[i]
@@ -258,6 +293,8 @@ func (r *ROB) PopTail() *ROBEntry {
 }
 
 // At returns the i-th oldest entry.
+//
+//smtlint:noalloc
 func (r *ROB) At(i int) *ROBEntry { return r.buf[r.idx(i)] }
 
 // FetchedUop is a uop sitting in a thread's private fetch queue together
@@ -290,12 +327,18 @@ func NewFetchQueue(capacity int) *FetchQueue {
 }
 
 // Len returns the number of queued uops.
+//
+//smtlint:noalloc
 func (q *FetchQueue) Len() int { return q.n }
 
 // Free returns the remaining capacity.
+//
+//smtlint:noalloc
 func (q *FetchQueue) Free() int { return len(q.buf) - q.n }
 
 // Push appends u; it reports false when full.
+//
+//smtlint:noalloc
 func (q *FetchQueue) Push(u FetchedUop) bool {
 	if q.n >= len(q.buf) {
 		return false
@@ -311,10 +354,14 @@ func (q *FetchQueue) Push(u FetchedUop) bool {
 
 // Peek returns the oldest queued uop without removing it. It must not be
 // called on an empty queue.
+//
+//smtlint:noalloc
 func (q *FetchQueue) Peek() *FetchedUop { return &q.buf[q.head] }
 
 // Pop removes and returns the oldest queued uop. It must not be called on
 // an empty queue.
+//
+//smtlint:noalloc
 func (q *FetchQueue) Pop() FetchedUop {
 	u := q.buf[q.head]
 	q.head++
@@ -327,6 +374,8 @@ func (q *FetchQueue) Pop() FetchedUop {
 
 // Each calls fn on every queued uop in fetch order; it stops early when fn
 // returns false.
+//
+//smtlint:noalloc
 func (q *FetchQueue) Each(fn func(u *FetchedUop) bool) {
 	i := q.head
 	for k := 0; k < q.n; k++ {
@@ -341,6 +390,8 @@ func (q *FetchQueue) Each(fn func(u *FetchedUop) bool) {
 }
 
 // Clear empties the queue (squash/redirect path).
+//
+//smtlint:noalloc
 func (q *FetchQueue) Clear() {
 	q.head = 0
 	q.n = 0

@@ -50,6 +50,8 @@ func (n *Network) Config() Config { return n.cfg }
 
 // TryTransfer claims a link slot at cycle now. On success it returns the
 // cycle at which the value arrives at the destination cluster and true.
+//
+//smtlint:noalloc
 func (n *Network) TryTransfer(now int64) (arriveAt int64, ok bool) {
 	if now != n.cycle {
 		n.cycle = now

@@ -104,6 +104,8 @@ const (
 
 // KindOf returns the register kind of logical register r.
 // It panics if r is RegNone or out of range.
+//
+//smtlint:noalloc
 func KindOf(r int16) RegKind {
 	if r < 0 || int(r) >= NumLogicalRegs {
 		panic(fmt.Sprintf("isa: KindOf(%d) out of range", r))
@@ -115,6 +117,8 @@ func KindOf(r int16) RegKind {
 }
 
 // FirstReg returns the first logical register number of kind k.
+//
+//smtlint:noalloc
 func FirstReg(k RegKind) int16 {
 	if k == IntReg {
 		return 0
@@ -123,6 +127,8 @@ func FirstReg(k RegKind) int16 {
 }
 
 // RegCount returns the number of logical registers of kind k.
+//
+//smtlint:noalloc
 func RegCount(k RegKind) int {
 	if k == IntReg {
 		return NumIntRegs
@@ -134,6 +140,8 @@ func RegCount(k RegKind) int {
 // Loads may write either kind; the trace records the actual destination, so
 // DestKind is derived from the destination register when one exists. For
 // classes with a fixed kind this returns that kind.
+//
+//smtlint:noalloc
 func DestKind(c Class) RegKind {
 	switch c {
 	case Fp:
@@ -146,6 +154,8 @@ func DestKind(c Class) RegKind {
 // Latency returns the default execution latency, in cycles, of class c.
 // Loads return the address-generation latency only; memory access time is
 // added by the cache model. These follow the Table 1 machine (1-cycle L1).
+//
+//smtlint:noalloc
 func Latency(c Class) int {
 	switch c {
 	case Int:
@@ -189,12 +199,18 @@ type Uop struct {
 }
 
 // HasDest reports whether the uop writes a logical register.
+//
+//smtlint:noalloc
 func (u *Uop) HasDest() bool { return u.Dst != RegNone }
 
 // IsMem reports whether the uop accesses memory.
+//
+//smtlint:noalloc
 func (u *Uop) IsMem() bool { return u.Class == Load || u.Class == Store }
 
 // NumSources returns the number of present source operands (0..2).
+//
+//smtlint:noalloc
 func (u *Uop) NumSources() int {
 	n := 0
 	if u.Src1 != RegNone {

@@ -1,0 +1,170 @@
+// Package confighash guards the content-addressed result store's identity
+// function. Store keys are SHA-256 over core.Config.Canonical(), which is a
+// whole-struct JSON serialization: any field that json.Marshal skips —
+// unexported, tagged `json:"-"`, or shadowed by a duplicate tag name — is a
+// sweep axis that silently aliases two distinct configurations onto one
+// store key. The analyzer finds every struct that defines a Canonical()
+// method and verifies, recursively through module-local nested structs,
+// that every field actually reaches the serialized form.
+package confighash
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"clustersmt/internal/lint"
+)
+
+// Analyzer is the confighash check.
+var Analyzer = &lint.Analyzer{
+	Name: "confighash",
+	Doc: "check that every field of a Canonical()-hashed config struct " +
+		"survives JSON serialization (no unexported fields, no json:\"-\", " +
+		"no duplicate tag names, no unmarshalable types)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !hasMethod(named, "Canonical") {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		seen := map[*types.Struct]bool{}
+		checkStruct(pass, st, named.Obj().Name(), seen)
+	}
+	return nil
+}
+
+func hasMethod(named *types.Named, name string) bool {
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStruct verifies one struct level and recurses into module-local
+// struct-typed fields (the nested sub-configs that ride along in the hash).
+func checkStruct(pass *lint.Pass, st *types.Struct, path string, seen map[*types.Struct]bool) {
+	if seen[st] {
+		return
+	}
+	seen[st] = true
+	names := map[string]string{} // effective JSON name -> field path
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fpath := path + "." + f.Name()
+		if !f.Exported() {
+			pass.Reportf(f.Pos(),
+				"field %s is unexported: json.Marshal skips it, so it never reaches Canonical() and the store key", fpath)
+			continue
+		}
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		jsonName, opts, _ := strings.Cut(tag, ",")
+		_ = opts
+		if jsonName == "-" && tag == "-" {
+			pass.Reportf(f.Pos(),
+				"field %s is tagged json:\"-\": it is omitted from Canonical(), so two configs differing only in %s share a store key", fpath, f.Name())
+			continue
+		}
+		effective := f.Name()
+		if jsonName != "" && jsonName != "-" {
+			effective = jsonName
+		}
+		if f.Embedded() {
+			// An untagged embedded struct flattens into the parent's name
+			// space; recurse into it under the same path.
+			if inner, ok := derefStruct(f.Type()); ok && tag == "" {
+				checkStruct(pass, inner, fpath, seen)
+				continue
+			}
+		}
+		if prev, dup := names[effective]; dup {
+			pass.Reportf(f.Pos(),
+				"field %s serializes as %q, colliding with %s: one of them is dropped from Canonical()", fpath, effective, prev)
+		}
+		names[effective] = fpath
+		checkFieldType(pass, f, fpath, f.Type(), seen)
+	}
+}
+
+// checkFieldType rejects types json.Marshal cannot encode and recurses into
+// module-local named structs reachable through pointers, slices, arrays,
+// and map values.
+func checkFieldType(pass *lint.Pass, f *types.Var, path string, t types.Type, seen map[*types.Struct]bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		pass.Reportf(f.Pos(),
+			"field %s has type %s, which json.Marshal cannot encode: Canonical() would fail at runtime", path, t)
+	case *types.Interface:
+		if u.NumMethods() > 0 || !u.IsComparable() {
+			pass.Reportf(f.Pos(),
+				"field %s is interface-typed: its serialized form depends on the dynamic type, which the store key cannot pin statically", path)
+		}
+	case *types.Pointer:
+		checkFieldType(pass, f, path, u.Elem(), seen)
+	case *types.Slice:
+		checkFieldType(pass, f, path, u.Elem(), seen)
+	case *types.Array:
+		checkFieldType(pass, f, path, u.Elem(), seen)
+	case *types.Map:
+		checkFieldType(pass, f, path, u.Elem(), seen)
+	case *types.Struct:
+		named, ok := t.(*types.Named)
+		if !ok {
+			checkStruct(pass, u, path, seen)
+			return
+		}
+		if !moduleLocal(pass, named) {
+			return // stdlib types own their marshaling contract
+		}
+		if hasMarshaler(named) {
+			return // a custom MarshalJSON takes over; runtime tests cover it
+		}
+		checkStruct(pass, u, fmt.Sprintf("%s(%s)", path, named.Obj().Name()), seen)
+	}
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// moduleLocal reports whether named is defined in one of the loaded
+// packages (i.e. inside this module) rather than the standard library.
+func moduleLocal(pass *lint.Pass, named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	_, ok := pass.Module.Pkgs[pkg.Path()]
+	return ok
+}
+
+func hasMarshaler(named *types.Named) bool {
+	for _, recv := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(recv)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "MarshalJSON" {
+				return true
+			}
+		}
+	}
+	return false
+}

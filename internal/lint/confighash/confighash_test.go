@@ -1,0 +1,12 @@
+package confighash_test
+
+import (
+	"testing"
+
+	"clustersmt/internal/lint/confighash"
+	"clustersmt/internal/lint/linttest"
+)
+
+func TestConfighash(t *testing.T) {
+	linttest.Run(t, confighash.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,38 @@
+// Fixture for the confighash analyzer: structs with a Canonical method must
+// serialize every field into the store key.
+package a
+
+// Config is hashed; every field must survive json.Marshal.
+type Config struct {
+	Threads  int                        `json:"threads"`
+	Clusters int                        `json:"clusters"`
+	seed     uint64                     // want `field Config\.seed is unexported: json\.Marshal skips it`
+	Debug    bool                       `json:"-"`       // want `field Config\.Debug is tagged json:"-": it is omitted from Canonical\(\)`
+	Rate     float64                    `json:"threads"` // want `field Config\.Rate serializes as "threads", colliding with Config\.Threads`
+	Hook     func()                     `json:"hook"`    // want `field Config\.Hook has type func\(\), which json\.Marshal cannot encode`
+	Notify   chan int                   `json:"notify"`  // want `field Config\.Notify has type chan int, which json\.Marshal cannot encode`
+	Policy   interface{ Name() string } `json:"policy"`  // want `field Config\.Policy is interface-typed`
+	Sub      Nested                     `json:"sub"`
+	Embedded
+}
+
+// Nested rides along inside Config's hash; its fields are checked too.
+type Nested struct {
+	Depth int    `json:"depth"`
+	label string // want `field Config\.Sub\(Nested\)\.label is unexported: json\.Marshal skips it`
+}
+
+// Embedded flattens into Config's namespace.
+type Embedded struct {
+	Width  int `json:"width"`
+	hidden int // want `field Config\.Embedded\.hidden is unexported: json\.Marshal skips it`
+}
+
+func (c Config) Canonical() []byte { return nil }
+
+// Plain has no Canonical method: nothing here is part of a store key, so
+// unexported fields and json:"-" are fine.
+type Plain struct {
+	state int
+	Skip  int `json:"-"`
+}

@@ -1,0 +1,325 @@
+// Package lockcheck enforces the campaign service's locking discipline: no
+// blocking operation while holding one of the service's mutexes. The
+// daemon's liveness argument (a slow SSE reader, a full queue, or a stuck
+// simulation can never wedge the API) rests on every s.mu/j.mu/events.mu
+// critical section being a short, purely local computation; this analyzer
+// rejects channel sends/receives, selects without a default, time.Sleep,
+// Run/Wait-style calls, and http.ResponseWriter writes performed between a
+// Lock and its Unlock in the same function.
+//
+// The analysis is intraprocedural and optimistic about branches: an early
+// `if ... { mu.Unlock(); return }` does not leak the unlock past the if,
+// and a lock is considered released after a conditional unlock on any
+// non-terminating path (avoiding false positives at the cost of missing
+// contrived conditional-hold shapes). Send/receive cases of a select that
+// has a default clause are non-blocking by construction and are not
+// flagged — Submit's queue admission depends on exactly that shape.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"clustersmt/internal/lint"
+)
+
+// Analyzer is the lockcheck check.
+var Analyzer = &lint.Analyzer{
+	Name: "lockcheck",
+	Doc: "check that no blocking operation (channel op, sleep, Run/Wait, " +
+		"ResponseWriter write) happens while a sync mutex acquired in the " +
+		"same function is held",
+	Run: run,
+}
+
+// mutexMethods maps the sync lock methods to +1 (acquire) / -1 (release).
+var mutexMethods = map[string]int{
+	"(*sync.Mutex).Lock":      +1,
+	"(*sync.Mutex).Unlock":    -1,
+	"(*sync.Mutex).TryLock":   +1, // conservatively: treat as acquired
+	"(*sync.RWMutex).Lock":    +1,
+	"(*sync.RWMutex).Unlock":  -1,
+	"(*sync.RWMutex).RLock":   +1,
+	"(*sync.RWMutex).RUnlock": -1,
+}
+
+func run(pass *lint.Pass) error {
+	// The locking discipline this analyzer encodes belongs to the campaign
+	// service; other packages have their own (checked dynamically).
+	if pass.Pkg.Types.Name() != "service" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass}
+			c.walk(fn.Body.List, held{})
+			// Function literals run on their own goroutine or call stack;
+			// each body is a fresh scope with no inherited locks.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.walk(lit.Body.List, held{})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// held tracks mutexes currently locked, keyed by receiver expression text.
+type held map[string]token.Pos
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h held) names() string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+type checker struct {
+	pass *lint.Pass
+}
+
+// walk processes stmts in order, threading the held-lock state through, and
+// returns the state at the end of the sequence.
+func (c *checker) walk(stmts []ast.Stmt, h held) held {
+	for _, stmt := range stmts {
+		h = c.walkStmt(stmt, h)
+	}
+	return h
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, h held) held {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, delta, ok := c.mutexOp(call); ok {
+				if delta > 0 {
+					h[key] = call.Pos()
+				} else {
+					delete(h, key)
+				}
+				return h
+			}
+		}
+		c.checkBlocking(s, h)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end (already
+		// modeled); any other deferred call runs at return, outside the
+		// critical sections this pass models.
+		return h
+	case *ast.IfStmt:
+		if s.Init != nil {
+			h = c.walkStmt(s.Init, h)
+		}
+		c.checkBlocking(s.Cond, h)
+		thenH := c.walk(s.Body.List, h.clone())
+		if terminates(s.Body.List) {
+			thenH = h
+		}
+		elseH := h
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseH = c.walk(e.List, h.clone())
+				if terminates(e.List) {
+					elseH = h
+				}
+			case *ast.IfStmt:
+				elseH = c.walkStmt(e, h.clone())
+			}
+		}
+		return intersect(thenH, elseH)
+	case *ast.BlockStmt:
+		return c.walk(s.List, h)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, h)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			h = c.walkStmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			c.checkBlocking(s.Cond, h)
+		}
+		c.walk(s.Body.List, h.clone()) // body may run zero times
+	case *ast.RangeStmt:
+		if tv, ok := c.pass.TypesInfo.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && len(h) > 0 {
+				c.report(s.Pos(), "range over channel", h)
+			}
+		}
+		c.checkBlocking(s.X, h)
+		c.walk(s.Body.List, h.clone())
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			body = sw.Body
+			if sw.Tag != nil {
+				c.checkBlocking(sw.Tag, h)
+			}
+		} else {
+			body = s.(*ast.TypeSwitchStmt).Body
+		}
+		for _, cc := range body.List {
+			c.walk(cc.(*ast.CaseClause).Body, h.clone())
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			if cc.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(h) > 0 {
+			c.report(s.Pos(), "select with no default clause", h)
+		}
+		for _, cc := range s.Body.List {
+			c.walk(cc.(*ast.CommClause).Body, h.clone())
+		}
+	case *ast.GoStmt:
+		return h // the spawned goroutine does not inherit lock ownership
+	default:
+		c.checkBlocking(stmt, h)
+	}
+	return h
+}
+
+// mutexOp recognizes calls to sync.Mutex / sync.RWMutex lock methods and
+// returns the receiver expression text as the lock identity.
+func (c *checker) mutexOp(call *ast.CallExpr) (key string, delta int, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", 0, false
+	}
+	delta, ok = mutexMethods[obj.FullName()]
+	if !ok {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), delta, true
+}
+
+// checkBlocking reports blocking operations inside node while locks are held.
+func (c *checker) checkBlocking(node ast.Node, h held) {
+	if len(h) == 0 || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, walked with fresh state
+		case *ast.SendStmt:
+			c.report(n.Pos(), "channel send", h)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.report(n.Pos(), "channel receive", h)
+			}
+		case *ast.CallExpr:
+			if what := c.blockingCall(n); what != "" {
+				c.report(n.Pos(), what, h)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call as blocking, returning a description or "".
+func (c *checker) blockingCall(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			switch obj.FullName() {
+			case "time.Sleep":
+				return "time.Sleep"
+			}
+			switch obj.Name() {
+			case "RunCtx", "Run", "Wait":
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return "call to " + obj.Name() + " (runs or waits for work of unbounded duration)"
+				}
+			}
+		}
+		if c.isStreamWriter(sel.X) {
+			return "http.ResponseWriter method call (a slow client blocks the write)"
+		}
+	}
+	for _, arg := range call.Args {
+		if c.isStreamWriter(arg) {
+			return "call passing an http.ResponseWriter (a slow client blocks the write)"
+		}
+	}
+	return ""
+}
+
+// isStreamWriter reports whether expr's static type is net/http's
+// ResponseWriter or Flusher interface.
+func (c *checker) isStreamWriter(expr ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return false
+	}
+	return obj.Name() == "ResponseWriter" || obj.Name() == "Flusher"
+}
+
+func (c *checker) report(pos token.Pos, what string, h held) {
+	c.pass.Reportf(pos, "%s while holding %s", what, h.names())
+}
+
+// terminates reports whether a statement list always leaves the function
+// (return or panic) rather than falling through.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.CONTINUE || last.Tok == token.GOTO
+	}
+	return false
+}
+
+func intersect(a, b held) held {
+	out := held{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}

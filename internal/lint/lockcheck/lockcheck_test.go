@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"clustersmt/internal/lint/linttest"
+	"clustersmt/internal/lint/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, lockcheck.Analyzer, "testdata/src/service")
+}

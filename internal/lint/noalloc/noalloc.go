@@ -1,0 +1,469 @@
+// Package noalloc is the static complement to the runtime zero-alloc gate
+// (TestSteadyStateZeroAlloc): functions annotated //smtlint:noalloc must be
+// free of allocation-prone constructs on every path, not just the paths a
+// benchmark config happens to execute.
+//
+// Inside an annotated function the analyzer rejects:
+//
+//   - make, new, and growable append
+//   - map writes, and map or slice composite literals
+//   - &T{...} (the address-of forces the literal to the heap)
+//   - function literals that escape (stored, returned, or assigned);
+//     a literal passed directly as a call argument is instead checked
+//     recursively, matching the compiler's ability to keep such closures
+//     on the stack
+//   - interface boxing: converting a non-pointer-shaped concrete value to
+//     an interface (call arguments and assignments)
+//   - non-constant string concatenation and string<->[]byte conversions
+//   - go statements and defer
+//   - calls to anything that is not itself annotated, a safe builtin, or
+//     whitelisted; dynamic calls through stored function values; calls
+//     through interface methods that are not annotated at the interface
+//
+// Two escape hatches keep the rule honest rather than theatrical:
+// arguments of panic(...) are skipped (failure paths are cold and panic
+// with formatted context), and a line carrying //smtlint:allow <reason>
+// is suppressed — the reason documents why the construct is bounded
+// (append into a pre-sized buffer, pool refill on a cold miss path).
+//
+// Annotated interfaces close the dynamic-dispatch hole: if an interface
+// method is //smtlint:noalloc, every module type implementing the
+// interface must annotate (and therefore satisfy) the corresponding
+// concrete method.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"clustersmt/internal/lint"
+)
+
+// Analyzer is the noalloc check.
+var Analyzer = &lint.Analyzer{
+	Name: "noalloc",
+	Doc: "check that //smtlint:noalloc functions contain no allocation-prone " +
+		"constructs and call only annotated or whitelisted functions",
+	Run: run,
+}
+
+// whitelist names functions outside the module that are known not to
+// allocate. Prefix entries end in a dot and admit a whole package.
+var whitelist = map[string]bool{
+	"slices.SortFunc": true, // in-place pattern-defeating quicksort; the comparison literal is still checked
+}
+
+var whitelistPrefixes = []string{
+	"math/bits.", // pure bit manipulation on machine words
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil || !pass.Noalloc(obj) {
+				continue
+			}
+			c := &checker{
+				pass:       pass,
+				funcParams: map[types.Object]bool{},
+				directLits: map[*ast.FuncLit]bool{},
+			}
+			c.addFuncParams(fd.Type)
+			c.check(fd.Body)
+		}
+	}
+	checkImplementations(pass)
+	return nil
+}
+
+type checker struct {
+	pass *lint.Pass
+	// funcParams holds the function-typed parameters of the annotated
+	// function (and of directly-invoked literals within it): calling one is
+	// permitted, because every direct literal passed for it is checked at
+	// its own call site.
+	funcParams map[types.Object]bool
+	// directLits marks function literals appearing directly as a call
+	// argument or operand: checked recursively instead of flagged as
+	// escaping.
+	directLits map[*ast.FuncLit]bool
+}
+
+// addFuncParams records function-typed parameters declared by ft.
+func (c *checker) addFuncParams(ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := c.pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				c.funcParams[obj] = true
+			}
+		}
+	}
+}
+
+func (c *checker) check(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return c.checkCall(n)
+		case *ast.FuncLit:
+			if !c.directLits[n] {
+				c.pass.Reportf(n.Pos(), "function literal escapes: the closure allocates")
+			}
+			c.addFuncParams(n.Type)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.pass.Reportf(n.Pos(), "address of composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := c.pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					c.pass.Reportf(n.Pos(), "slice literal allocates its backing array")
+				case *types.Map:
+					c.pass.Reportf(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.IncDecStmt:
+			if idx, ok := n.X.(*ast.IndexExpr); ok {
+				c.checkMapWrite(idx)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := c.pass.TypesInfo.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					c.pass.Reportf(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			c.pass.Reportf(n.Pos(), "defer in a noalloc function; hoist it out of the hot path")
+		}
+		return true
+	})
+}
+
+// checkCall handles calls: conversions, builtins, and callee discipline.
+// It returns false when the subtree must not be descended (panic args).
+func (c *checker) checkCall(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return false // panic paths are cold; formatted context is allowed there
+		}
+	}
+
+	// A conversion, not a call.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return true
+	}
+
+	// Function literals in operand or argument position run here, not
+	// later: check their bodies instead of flagging them as escaping.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		c.directLits[lit] = true
+	}
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			c.directLits[lit] = true
+		}
+	}
+
+	obj, sel := c.callee(call.Fun)
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make":
+			c.pass.Reportf(call.Pos(), "make allocates")
+		case "new":
+			c.pass.Reportf(call.Pos(), "new allocates")
+		case "append":
+			c.pass.Reportf(call.Pos(), "append may grow its backing array")
+		}
+		return true
+	case *types.Func:
+		fn := obj.Origin()
+		sig, _ := fn.Type().(*types.Signature)
+		isIface := sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+		switch {
+		case c.pass.Noalloc(fn):
+		case whitelisted(fn.FullName()):
+		case isIface:
+			c.pass.Reportf(call.Pos(),
+				"call via interface method %s, which is not annotated //smtlint:noalloc", fn.FullName())
+		default:
+			c.pass.Reportf(call.Pos(),
+				"calls %s, which is not annotated //smtlint:noalloc", fn.FullName())
+		}
+		c.checkArgBoxing(call, sig)
+		return true
+	case *types.Var:
+		if c.funcParams[obj] {
+			// Calling a function-typed parameter: the literal passed for it
+			// is checked at the annotated call site that supplied it.
+			return true
+		}
+		c.pass.Reportf(call.Pos(), "dynamic call through function value %s", obj.Name())
+		return true
+	}
+	if sel != nil && sel.Kind() == types.FieldVal {
+		c.pass.Reportf(call.Pos(), "dynamic call through function-valued field %s", sel.Obj().Name())
+	}
+	return true
+}
+
+// callee resolves the called object, unwrapping parens and generic
+// instantiation indexes.
+func (c *checker) callee(fun ast.Expr) (types.Object, *types.Selection) {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return c.pass.TypesInfo.Uses[f], nil
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[f]; ok {
+			return sel.Obj(), sel
+		}
+		return c.pass.TypesInfo.Uses[f.Sel], nil
+	case *ast.IndexExpr:
+		return c.callee(f.X)
+	case *ast.IndexListExpr:
+		return c.callee(f.X)
+	}
+	return nil, nil
+}
+
+// checkConversion flags converting between string and byte/rune slices
+// (copies to a fresh allocation) and boxing a concrete value into an
+// interface type.
+func (c *checker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok {
+		return
+	}
+	if tv.Value != nil {
+		return // constant-folded
+	}
+	switch {
+	case isString(target) && isByteOrRuneSlice(tv.Type),
+		isByteOrRuneSlice(target) && isString(tv.Type):
+		c.pass.Reportf(call.Pos(), "string conversion copies to a fresh allocation")
+	case isInterface(target) && !types.IsInterface(tv.Type) && !pointerShaped(tv.Type):
+		c.pass.Reportf(call.Pos(), "conversion boxes %s into interface %s", tv.Type, target)
+	}
+}
+
+// checkArgBoxing flags arguments whose concrete values are boxed into
+// interface parameters.
+func (c *checker) checkArgBoxing(call *ast.CallExpr, sig *types.Signature) {
+	if sig == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.checkBoxing(arg, pt)
+	}
+}
+
+func (c *checker) checkAssign(n *ast.AssignStmt) {
+	for _, lhs := range n.Lhs {
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			c.checkMapWrite(idx)
+		}
+	}
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if n.Tok == token.DEFINE {
+			continue // new variable takes the RHS type; nothing boxes
+		}
+		ltv, ok := c.pass.TypesInfo.Types[lhs]
+		if !ok {
+			continue
+		}
+		c.checkBoxing(n.Rhs[i], ltv.Type)
+	}
+}
+
+// checkBoxing flags storing a non-pointer-shaped concrete value into an
+// interface-typed slot.
+func (c *checker) checkBoxing(expr ast.Expr, target types.Type) {
+	if target == nil || !isInterface(target) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Value != nil {
+		return
+	}
+	t := tv.Type
+	if t == nil || types.IsInterface(t) || pointerShaped(t) {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return // nil and friends
+	}
+	c.pass.Reportf(expr.Pos(), "boxes %s into interface %s", t, target)
+}
+
+func (c *checker) checkMapWrite(idx *ast.IndexExpr) {
+	tv, ok := c.pass.TypesInfo.Types[idx.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+		c.pass.Reportf(idx.Pos(), "map write may allocate (bucket growth)")
+	}
+}
+
+// checkImplementations closes the dynamic-dispatch hole: every named type
+// in this package implementing an interface with //smtlint:noalloc methods
+// must annotate the corresponding concrete methods. Without this, a call
+// through the interface is checked but the implementation behind it is not.
+func checkImplementations(pass *lint.Pass) {
+	type annotatedIface struct {
+		named   *types.Named
+		methods []*types.Func
+	}
+	byIface := map[*types.Named]*annotatedIface{}
+	for fn := range pass.Module.Noalloc {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		named, ok := sig.Recv().Type().(*types.Named)
+		if !ok || !types.IsInterface(named) {
+			continue
+		}
+		ai := byIface[named]
+		if ai == nil {
+			ai = &annotatedIface{named: named}
+			byIface[named] = ai
+		}
+		ai.methods = append(ai.methods, fn)
+	}
+	if len(byIface) == 0 {
+		return
+	}
+	ifaces := make([]*annotatedIface, 0, len(byIface))
+	for _, ai := range byIface {
+		sort.Slice(ai.methods, func(i, j int) bool { return ai.methods[i].Name() < ai.methods[j].Name() })
+		ifaces = append(ifaces, ai)
+	}
+	sort.Slice(ifaces, func(i, j int) bool {
+		return ifaces[i].named.Obj().Name() < ifaces[j].named.Obj().Name()
+	})
+
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) || named.TypeParams().Len() > 0 {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		for _, ai := range ifaces {
+			iface := ai.named.Underlying().(*types.Interface)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			ms := types.NewMethodSet(ptr)
+			for _, im := range ai.methods {
+				msel := ms.Lookup(pass.Pkg.Types, im.Name())
+				if msel == nil {
+					continue
+				}
+				concrete, ok := msel.Obj().(*types.Func)
+				if !ok || pass.Noalloc(concrete.Origin()) {
+					continue
+				}
+				ifaceName := ai.named.Obj().Name()
+				if p := ai.named.Obj().Pkg(); p != nil {
+					ifaceName = p.Name() + "." + ifaceName
+				}
+				pass.Reportf(concrete.Pos(),
+					"%s implements %s, whose method %s is //smtlint:noalloc, but this implementation is not annotated",
+					named.Obj().Name(), ifaceName, im.Name())
+			}
+		}
+	}
+}
+
+func whitelisted(fullName string) bool {
+	if whitelist[fullName] {
+		return true
+	}
+	for _, p := range whitelistPrefixes {
+		if strings.HasPrefix(fullName, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isInterface reports whether t is a true interface type. A type parameter's
+// underlying type is its constraint interface, so types.IsInterface alone
+// would misread generic instantiations (e.g. slices.SortFunc's S) as boxing.
+func isInterface(t types.Type) bool {
+	if _, ok := t.(*types.TypeParam); ok {
+		return false
+	}
+	return types.IsInterface(t)
+}
+
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

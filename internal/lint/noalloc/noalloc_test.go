@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"clustersmt/internal/lint/linttest"
+	"clustersmt/internal/lint/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, noalloc.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,147 @@
+// Fixture for the noalloc analyzer: annotated functions exercising every
+// diagnostic class plus the shapes that must stay silent.
+package a
+
+// sum is allocation-free: loops, arithmetic, and slice reads are fine.
+//
+//smtlint:noalloc
+func sum(xs []int) (s int) {
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// helper is deliberately not annotated.
+func helper() int { return 1 }
+
+//smtlint:noalloc
+func callsUnannotated() int {
+	return helper() // want `calls a\.helper, which is not annotated //smtlint:noalloc`
+}
+
+//smtlint:noalloc
+func builtins(xs []int, m map[string]int) {
+	_ = make([]int, 4)    // want `make allocates`
+	_ = new(int)          // want `new allocates`
+	xs = append(xs, 1)    // want `append may grow its backing array`
+	m["k"] = 1            // want `map write may allocate \(bucket growth\)`
+	_ = []int{1, 2, 3}    // want `slice literal allocates its backing array`
+	_ = map[int]int{1: 1} // want `map literal allocates`
+	_ = xs
+}
+
+type point struct{ x, y int }
+
+//smtlint:noalloc
+func escapes() *point {
+	return &point{1, 2} // want `address of composite literal escapes to the heap`
+}
+
+//smtlint:noalloc
+func strings(a, b string, bs []byte) {
+	_ = a + b       // want `string concatenation allocates`
+	_ = string(bs)  // want `string conversion copies to a fresh allocation`
+	_ = []byte(a)   // want `string conversion copies to a fresh allocation`
+	_ = a + "const" // want `string concatenation allocates`
+}
+
+//smtlint:noalloc
+func boxes(p point) {
+	var i any
+	i = p // want `boxes a\.point into interface any`
+	_ = i
+}
+
+// boxPointer is fine: pointers are pointer-shaped, no box needed.
+//
+//smtlint:noalloc
+func boxPointer(p *point) any { return p }
+
+//smtlint:noalloc
+func spawns() {
+	go helper()    // want `go statement allocates a goroutine` `calls a\.helper, which is not annotated`
+	defer helper() // want `defer in a noalloc function; hoist it out of the hot path` `calls a\.helper, which is not annotated`
+}
+
+//smtlint:noalloc
+func closureEscapes(x int) func() int {
+	f := func() int { return x } // want `function literal escapes: the closure allocates`
+	return f
+}
+
+// each takes a callback; the literal below is passed directly, so its body is
+// checked in place rather than treated as an escaping closure.
+//
+//smtlint:noalloc
+func each(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}
+
+//smtlint:noalloc
+func directLiteral(xs []int) {
+	each(xs, func(x int) {
+		_ = make([]int, x) // want `make allocates`
+	})
+}
+
+type sampler struct {
+	fn func(int)
+}
+
+//smtlint:noalloc
+func (s *sampler) fire() {
+	s.fn(1) // want `dynamic call through function value fn`
+}
+
+//smtlint:noalloc
+func dynamicValue() {
+	var f func()
+	f() // want `dynamic call through function value f`
+}
+
+// allowed demonstrates //smtlint:allow suppression: no want comments here.
+//
+//smtlint:noalloc
+func allowed(xs []int) []int {
+	//smtlint:allow scratch buffer retained by the caller
+	xs = append(xs, 1)
+	return xs
+}
+
+// Stepper's Step is annotated at the interface; implementations must carry
+// the annotation too.
+type Stepper interface {
+	//smtlint:noalloc
+	Step() int
+}
+
+type goodStep struct{}
+
+//smtlint:noalloc
+func (goodStep) Step() int { return 0 }
+
+type badStep struct{}
+
+func (badStep) Step() int { return 0 } // want `badStep implements a\.Stepper, whose method Step is //smtlint:noalloc, but this implementation is not annotated`
+
+//smtlint:noalloc
+func viaInterface(s Stepper) int {
+	return s.Step()
+}
+
+//smtlint:noalloc
+func notAnnotatedIface(s interface{ Nope() int }) int {
+	return s.Nope() // want `call via interface method \(interface\)\.Nope, which is not annotated //smtlint:noalloc`
+}
+
+// panicPath: arguments to panic are a cold path and exempt.
+//
+//smtlint:noalloc
+func panicPath(n int) {
+	if n < 0 {
+		panic("negative: " + string(rune(n)))
+	}
+}

@@ -1,0 +1,172 @@
+// Package registryref enforces the registration hygiene of the policy
+// component and scheme registries at the AST level: every registered
+// Component or Scheme literal must carry a non-empty Name, Ref (paper
+// citation), and Desc, and every declared Param must have a non-empty
+// Name and Desc with bounds satisfying Min ≤ Default ≤ Max. The schemekey
+// and registry tests check some of this at runtime; this analyzer moves the
+// contract to compile time so an undocumented or mis-bounded registration
+// never reaches a test run.
+package registryref
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"clustersmt/internal/lint"
+)
+
+// Analyzer is the registryref check.
+var Analyzer = &lint.Analyzer{
+	Name: "registryref",
+	Doc: "check that policy registry literals carry Name/Ref/Desc and " +
+		"parameter bounds with Min <= Default <= Max",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	// The contract applies to the policy package (and fixtures that mimic
+	// it); other packages construct these structs transiently (JSON
+	// listings, test expectations) where the invariants do not apply.
+	if pass.Pkg.Types.Name() != "policy" {
+		return nil
+	}
+	// nested marks literals that are elements of an enclosing composite
+	// literal — the registry containers. A bare `Scheme{}` elsewhere is a
+	// zero value (error-path return, test scratch), not a registration.
+	nested := map[*ast.CompositeLit]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if inner, ok := elt.(*ast.CompositeLit); ok {
+					nested[inner] = true
+				}
+			}
+			if len(lit.Elts) == 0 && !nested[lit] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok {
+				return true
+			}
+			st, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			fields := literalFields(lit, st)
+			switch {
+			case hasStringFields(st, "Name", "Ref", "Desc"):
+				name := typeName(tv.Type)
+				for _, key := range []string{"Name", "Ref", "Desc"} {
+					if s, known := constString(pass, fields[key]); known && s == "" {
+						pass.Reportf(lit.Pos(), "%s registration has empty %s", name, key)
+					}
+				}
+			case hasStringFields(st, "Name", "Desc") && hasFloatFields(st, "Default", "Min", "Max"):
+				for _, key := range []string{"Name", "Desc"} {
+					if s, known := constString(pass, fields[key]); known && s == "" {
+						pass.Reportf(lit.Pos(), "parameter declaration has empty %s", key)
+					}
+				}
+				minV, okMin := constFloat(pass, fields["Min"])
+				defV, okDef := constFloat(pass, fields["Default"])
+				maxV, okMax := constFloat(pass, fields["Max"])
+				if okMin && okDef && okMax && !(minV <= defV && defV <= maxV) {
+					pass.Reportf(lit.Pos(),
+						"parameter bounds violate Min <= Default <= Max (min=%v default=%v max=%v)",
+						minV, defV, maxV)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// literalFields maps struct field names to the expressions the literal
+// assigns them, handling both keyed and positional forms. Absent fields are
+// left out: their zero value is modeled by the const* helpers.
+func literalFields(lit *ast.CompositeLit, st *types.Struct) map[string]ast.Expr {
+	out := make(map[string]ast.Expr, len(lit.Elts))
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				out[id.Name] = kv.Value
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			out[st.Field(i).Name()] = elt
+		}
+	}
+	return out
+}
+
+func hasStringFields(st *types.Struct, names ...string) bool {
+	return hasBasicFields(st, types.IsString, names)
+}
+
+func hasFloatFields(st *types.Struct, names ...string) bool {
+	return hasBasicFields(st, types.IsFloat, names)
+}
+
+func hasBasicFields(st *types.Struct, info types.BasicInfo, names []string) bool {
+	for _, want := range names {
+		found := false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() != want {
+				continue
+			}
+			if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&info != 0 {
+				found = true
+			}
+			break
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// constString evaluates expr as a constant string. A nil expr (field absent
+// from the literal) is the zero string. known is false when the value
+// cannot be determined statically.
+func constString(pass *lint.Pass, expr ast.Expr) (val string, known bool) {
+	if expr == nil {
+		return "", true
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func constFloat(pass *lint.Pass, expr ast.Expr) (val float64, known bool) {
+	if expr == nil {
+		return 0, true
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	f, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+	_ = ok // representable-with-rounding is fine for a bounds check
+	return f, true
+}
+
+func typeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

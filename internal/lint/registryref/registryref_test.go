@@ -1,0 +1,12 @@
+package registryref_test
+
+import (
+	"testing"
+
+	"clustersmt/internal/lint/linttest"
+	"clustersmt/internal/lint/registryref"
+)
+
+func TestRegistryref(t *testing.T) {
+	linttest.Run(t, registryref.Analyzer, "testdata/src/policy")
+}

@@ -1,0 +1,66 @@
+// Fixture for the registryref analyzer. The package is named policy because
+// the registration contract is scoped to the policy package.
+package policy
+
+type Param struct {
+	Name, Desc        string
+	Default, Min, Max float64
+	Integer           bool
+}
+
+type Component struct {
+	Name, Ref, Desc string
+	Params          []Param
+}
+
+type SchemeSpec struct{ Selector string }
+
+type Scheme struct {
+	Name, Ref, Desc string
+	Spec            SchemeSpec
+}
+
+var components = []Component{
+	{
+		Name: "good",
+		Ref:  "ref [1]",
+		Desc: "a fully documented component",
+		Params: []Param{
+			{Name: "alpha", Desc: "smoothing factor", Default: 0.5, Min: 0, Max: 1},
+		},
+	},
+	{ // want `Component registration has empty Ref`
+		Name: "noref",
+		Desc: "missing its paper citation",
+	},
+	{ // want `Component registration has empty Desc`
+		Name: "nodesc",
+		Ref:  "ref [2]",
+	},
+	{
+		Name: "badparams",
+		Ref:  "ref [3]",
+		Desc: "parameter problems below",
+		Params: []Param{
+			{Name: "beta", Desc: "out of bounds", Default: 5, Min: 0, Max: 2}, // want `parameter bounds violate Min <= Default <= Max \(min=0 default=5 max=2\)`
+			{Name: "", Desc: "anonymous"},                                     // want `parameter declaration has empty Name`
+			{Name: "nodesc", Default: 1, Min: 0, Max: 2},                      // want `parameter declaration has empty Desc`
+		},
+	},
+}
+
+var schemes = map[string]Scheme{
+	"ok": {Name: "ok", Ref: "ref [4]", Desc: "fine", Spec: SchemeSpec{Selector: "icount"}},
+	"anon": { // want `Scheme registration has empty Ref` `Scheme registration has empty Desc`
+		Name: "anon",
+	},
+}
+
+// Lookup-style zero values are not registrations and stay silent.
+func lookup(name string) (Scheme, bool) {
+	s, ok := schemes[name]
+	if !ok {
+		return Scheme{}, false
+	}
+	return s, ok
+}

@@ -73,19 +73,29 @@ func New(capacity, n int) *MOB {
 }
 
 // Capacity returns the total number of entries.
+//
+//smtlint:noalloc
 func (m *MOB) Capacity() int { return m.capacity }
 
 // Used returns the number of allocated entries.
+//
+//smtlint:noalloc
 func (m *MOB) Used() int { return m.used }
 
 // Free returns the number of available entries.
+//
+//smtlint:noalloc
 func (m *MOB) Free() int { return m.capacity - m.used }
 
 // UsedBy returns the number of entries held by thread t.
+//
+//smtlint:noalloc
 func (m *MOB) UsedBy(t int) int { return len(m.stores[t]) + len(m.loads[t]) }
 
 // Alloc allocates an entry for thread t at sequence seq. It returns nil if
 // the MOB is full.
+//
+//smtlint:noalloc
 func (m *MOB) Alloc(t int, seq uint64, isStore bool) *Entry {
 	if m.used >= m.capacity {
 		return nil
@@ -95,8 +105,10 @@ func (m *MOB) Alloc(t int, seq uint64, isStore bool) *Entry {
 	e := &m.arena[idx]
 	*e = Entry{Thread: t, Seq: seq, IsStore: isStore, idx: idx}
 	if isStore {
+		//smtlint:allow per-thread index lists bounded by MOB capacity; backings reused
 		m.stores[t] = append(m.stores[t], idx)
 	} else {
+		//smtlint:allow per-thread index lists bounded by MOB capacity; backings reused
 		m.loads[t] = append(m.loads[t], idx)
 	}
 	m.used++
@@ -104,6 +116,8 @@ func (m *MOB) Alloc(t int, seq uint64, isStore bool) *Entry {
 }
 
 // Resolve marks e executed with address addr.
+//
+//smtlint:noalloc
 func (m *MOB) Resolve(e *Entry, addr uint64) {
 	e.Addr = addr
 	e.Resolved = true
@@ -112,6 +126,8 @@ func (m *MOB) Resolve(e *Entry, addr uint64) {
 // Forward reports whether a load by thread t at sequence seq from addr can
 // be served by an older resolved store of the same thread to the same
 // 8-byte-aligned address.
+//
+//smtlint:noalloc
 func (m *MOB) Forward(t int, seq uint64, addr uint64) bool {
 	a := addr &^ 7
 	sts := m.stores[t]
@@ -130,6 +146,8 @@ func (m *MOB) Forward(t int, seq uint64, addr uint64) bool {
 
 // Release removes e (commit or squash). Releasing an entry that is not
 // present is a programming error and panics.
+//
+//smtlint:noalloc
 func (m *MOB) Release(e *Entry) {
 	var list *[]int32
 	if e.IsStore {
@@ -139,7 +157,9 @@ func (m *MOB) Release(e *Entry) {
 	}
 	for i, idx := range *list {
 		if idx == e.idx {
+			//smtlint:allow copy-down removal within existing capacity; never grows
 			*list = append((*list)[:i], (*list)[i+1:]...)
+			//smtlint:allow free list refills within its construction-time capacity
 			m.freeList = append(m.freeList, e.idx)
 			m.used--
 			return
@@ -150,6 +170,8 @@ func (m *MOB) Release(e *Entry) {
 
 // SquashYounger removes all entries of thread t with Seq > seq and returns
 // how many were removed.
+//
+//smtlint:noalloc
 func (m *MOB) SquashYounger(t int, seq uint64) int {
 	n := 0
 	n += m.squashList(&m.stores[t], seq)
@@ -158,6 +180,7 @@ func (m *MOB) SquashYounger(t int, seq uint64) int {
 	return n
 }
 
+//smtlint:noalloc
 func (m *MOB) squashList(list *[]int32, seq uint64) int {
 	// Entries are in program order; find the first younger entry.
 	l := *list
@@ -166,10 +189,13 @@ func (m *MOB) squashList(list *[]int32, seq uint64) int {
 		i--
 	}
 	n := len(l) - i
+	//smtlint:allow free list refills within its construction-time capacity
 	m.freeList = append(m.freeList, l[i:]...)
 	*list = l[:i]
 	return n
 }
 
 // Forwards returns the number of successful store-to-load forwards.
+//
+//smtlint:noalloc
 func (m *MOB) Forwards() uint64 { return m.forwards }

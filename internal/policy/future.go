@@ -12,13 +12,16 @@ import "clustersmt/internal/isa"
 // forwards miss events to the selector and to any IQ/RF policy implementing
 // this interface.
 type MissObserver interface {
+	//smtlint:noalloc
 	MissStart(t int, seq uint64, now int64)
+	//smtlint:noalloc
 	MissEnd(t int, now int64)
 }
 
 // CycleObserver is implemented by adaptive policies that need a per-cycle
 // tick beyond RFPolicy.EndCycle (e.g. an adaptive IQ policy).
 type CycleObserver interface {
+	//smtlint:noalloc
 	EndCycle(m Machine)
 }
 
@@ -26,6 +29,7 @@ type CycleObserver interface {
 // throughput.
 type PerfReader interface {
 	// Committed returns the architecturally committed uops of thread t.
+	//smtlint:noalloc
 	Committed(t int) uint64
 }
 
@@ -40,19 +44,25 @@ type dcraState struct {
 	outstanding []int
 }
 
+//smtlint:noalloc
 func (d *dcraState) ensure(n int) {
 	if len(d.outstanding) < n {
+		//smtlint:allow one-time growth to the observed thread count
 		d.outstanding = append(d.outstanding, make([]int, n-len(d.outstanding))...)
 	}
 }
 
 // MissStart implements MissObserver.
+//
+//smtlint:noalloc
 func (d *dcraState) MissStart(t int, _ uint64, _ int64) {
 	d.ensure(t + 1)
 	d.outstanding[t]++
 }
 
 // MissEnd implements MissObserver.
+//
+//smtlint:noalloc
 func (d *dcraState) MissEnd(t int, _ int64) {
 	d.ensure(t + 1)
 	if d.outstanding[t] > 0 {
@@ -60,6 +70,7 @@ func (d *dcraState) MissEnd(t int, _ int64) {
 	}
 }
 
+//smtlint:noalloc
 func (d *dcraState) weight(t int) int {
 	d.ensure(t + 1)
 	if d.outstanding[t] > 0 {
@@ -71,6 +82,7 @@ func (d *dcraState) weight(t int) int {
 	return 1
 }
 
+//smtlint:noalloc
 func (d *dcraState) share(t, total, n int) int {
 	sum := 0
 	for i := 0; i < n; i++ {
@@ -94,17 +106,25 @@ func NewDCRAIQ() IQPolicy { return &DCRAIQ{st: &dcraState{}} }
 func (*DCRAIQ) Name() string { return "dcra-iq" }
 
 // Allows implements IQPolicy.
+//
+//smtlint:noalloc
 func (p *DCRAIQ) Allows(t, c int, m Machine) bool {
 	return m.IQOcc(c, t) < p.st.share(t, m.IQSize(), m.NumThreads())
 }
 
 // ForcedCluster implements IQPolicy.
+//
+//smtlint:noalloc
 func (*DCRAIQ) ForcedCluster(int) (int, bool) { return 0, false }
 
 // MissStart implements MissObserver.
+//
+//smtlint:noalloc
 func (p *DCRAIQ) MissStart(t int, seq uint64, now int64) { p.st.MissStart(t, seq, now) }
 
 // MissEnd implements MissObserver.
+//
+//smtlint:noalloc
 func (p *DCRAIQ) MissEnd(t int, now int64) { p.st.MissEnd(t, now) }
 
 // DCRARF is the cluster-insensitive DCRA-style register-file policy: a
@@ -118,20 +138,30 @@ func NewDCRARF(RFConfig) RFPolicy { return &DCRARF{st: &dcraState{}} }
 func (*DCRARF) Name() string { return "dcra-rf" }
 
 // MayAllocate implements RFPolicy.
+//
+//smtlint:noalloc
 func (p *DCRARF) MayAllocate(t int, k isa.RegKind, _ int, n int, m Machine) bool {
 	return m.RFInUse(t, k)+n <= p.st.share(t, m.RFTotal(k), m.NumThreads())
 }
 
 // NoteStall implements RFPolicy.
+//
+//smtlint:noalloc
 func (*DCRARF) NoteStall(int, isa.RegKind) {}
 
 // EndCycle implements RFPolicy.
+//
+//smtlint:noalloc
 func (*DCRARF) EndCycle(Machine) {}
 
 // MissStart implements MissObserver.
+//
+//smtlint:noalloc
 func (p *DCRARF) MissStart(t int, seq uint64, now int64) { p.st.MissStart(t, seq, now) }
 
 // MissEnd implements MissObserver.
+//
+//smtlint:noalloc
 func (p *DCRARF) MissEnd(t int, now int64) { p.st.MissEnd(t, now) }
 
 // HillClimbIQ adapts the per-thread, per-cluster issue-queue partition by
@@ -166,6 +196,8 @@ func (p *HillClimbIQ) Share() float64 { return p.share }
 
 // Allows implements IQPolicy. With more than two threads the non-adapted
 // threads split the remainder evenly.
+//
+//smtlint:noalloc
 func (p *HillClimbIQ) Allows(t, c int, m Machine) bool {
 	frac := p.share
 	if t != 0 {
@@ -179,9 +211,13 @@ func (p *HillClimbIQ) Allows(t, c int, m Machine) bool {
 }
 
 // ForcedCluster implements IQPolicy.
+//
+//smtlint:noalloc
 func (*HillClimbIQ) ForcedCluster(int) (int, bool) { return 0, false }
 
 // EndCycle implements CycleObserver: epoch-boundary hill climbing.
+//
+//smtlint:noalloc
 func (p *HillClimbIQ) EndCycle(m Machine) {
 	pr, ok := m.(PerfReader)
 	if !ok {

@@ -9,10 +9,12 @@ type IQPolicy interface {
 	Name() string
 	// Allows reports whether thread t may allocate one more issue-queue
 	// entry in cluster c under the scheme's cap (ignoring physical space).
+	//smtlint:noalloc
 	Allows(t, c int, m Machine) bool
 	// ForcedCluster returns (cluster, true) when the scheme statically
 	// binds thread t to one cluster (the PC scheme); otherwise ok=false
 	// and the steering logic chooses.
+	//smtlint:noalloc
 	ForcedCluster(t int) (c int, ok bool)
 }
 
@@ -28,9 +30,13 @@ func NewUnrestricted() IQPolicy { return Unrestricted{} }
 func (Unrestricted) Name() string { return "unrestricted" }
 
 // Allows implements IQPolicy.
+//
+//smtlint:noalloc
 func (Unrestricted) Allows(int, int, Machine) bool { return true }
 
 // ForcedCluster implements IQPolicy.
+//
+//smtlint:noalloc
 func (Unrestricted) ForcedCluster(int) (int, bool) { return 0, false }
 
 // CISP is the Cluster-Insensitive Static Partitioned scheme (ref [31]): a
@@ -45,12 +51,16 @@ func NewCISP() IQPolicy { return CISP{} }
 func (CISP) Name() string { return "cisp" }
 
 // Allows implements IQPolicy.
+//
+//smtlint:noalloc
 func (CISP) Allows(t, _ int, m Machine) bool {
 	cap := m.NumClusters() * m.IQSize() / m.NumThreads()
 	return IQTotalOcc(m, t) < cap
 }
 
 // ForcedCluster implements IQPolicy.
+//
+//smtlint:noalloc
 func (CISP) ForcedCluster(int) (int, bool) { return 0, false }
 
 // CSSP is the Cluster-Sensitive Static Partitioned scheme: a thread may
@@ -67,11 +77,15 @@ func NewCSSP() IQPolicy { return CSSP{} }
 func (CSSP) Name() string { return "cssp" }
 
 // Allows implements IQPolicy.
+//
+//smtlint:noalloc
 func (CSSP) Allows(t, c int, m Machine) bool {
 	return m.IQOcc(c, t) < m.IQSize()/m.NumThreads()
 }
 
 // ForcedCluster implements IQPolicy.
+//
+//smtlint:noalloc
 func (CSSP) ForcedCluster(int) (int, bool) { return 0, false }
 
 // CSPSP is the Cluster-Sensitive Partial Static Partitioned scheme: only a
@@ -91,6 +105,8 @@ func NewCSPSP() IQPolicy { return &CSPSP{GuaranteeFrac: 0.25} }
 func (*CSPSP) Name() string { return "cspsp" }
 
 // Allows implements IQPolicy.
+//
+//smtlint:noalloc
 func (p *CSPSP) Allows(t, c int, m Machine) bool {
 	size := m.IQSize()
 	guarantee := int(float64(size) * p.GuaranteeFrac)
@@ -112,6 +128,8 @@ func (p *CSPSP) Allows(t, c int, m Machine) bool {
 }
 
 // ForcedCluster implements IQPolicy.
+//
+//smtlint:noalloc
 func (*CSPSP) ForcedCluster(int) (int, bool) { return 0, false }
 
 // PC is the Private Clusters scheme: thread t is statically bound to
@@ -130,10 +148,14 @@ func NewPC() IQPolicy { return PC{} }
 func (PC) Name() string { return "pc" }
 
 // Allows implements IQPolicy.
+//
+//smtlint:noalloc
 func (p PC) Allows(t, c int, m Machine) bool {
 	return c == (t+p.Offset)%m.NumClusters()
 }
 
 // ForcedCluster implements IQPolicy. The core reduces the returned cluster
 // modulo the cluster count.
+//
+//smtlint:noalloc
 func (p PC) ForcedCluster(t int) (int, bool) { return t + p.Offset, true }

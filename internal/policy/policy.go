@@ -29,33 +29,47 @@ import "clustersmt/internal/isa"
 // consult. It is implemented by core.Processor; tests use lightweight fakes.
 type Machine interface {
 	// NumThreads returns the number of hardware threads.
+	//smtlint:noalloc
 	NumThreads() int
 	// NumClusters returns the number of back-end clusters.
+	//smtlint:noalloc
 	NumClusters() int
 	// IQSize returns the per-cluster issue-queue capacity.
+	//smtlint:noalloc
 	IQSize() int
 	// IQFree returns free issue-queue entries in cluster c.
+	//smtlint:noalloc
 	IQFree(c int) int
 	// IQOcc returns the issue-queue entries cluster c holds for thread t.
+	//smtlint:noalloc
 	IQOcc(c, t int) int
 	// RFTotal returns physical registers of kind k summed over clusters.
+	//smtlint:noalloc
 	RFTotal(k isa.RegKind) int
 	// RFFree returns free registers of kind k summed over clusters.
+	//smtlint:noalloc
 	RFFree(k isa.RegKind) int
 	// RFInUse returns registers of kind k held by thread t over clusters.
+	//smtlint:noalloc
 	RFInUse(t int, k isa.RegKind) int
 	// RFClusterTotal returns the per-cluster register count of kind k.
+	//smtlint:noalloc
 	RFClusterTotal(k isa.RegKind) int
 	// RFClusterFree returns free registers of kind k in cluster c.
+	//smtlint:noalloc
 	RFClusterFree(c int, k isa.RegKind) int
 	// RFClusterInUse returns registers of kind k in cluster c held by t.
+	//smtlint:noalloc
 	RFClusterInUse(c, t int, k isa.RegKind) int
 	// Now returns the current cycle.
+	//smtlint:noalloc
 	Now() int64
 }
 
 // IQTotalOcc returns the issue-queue entries thread t holds across all
 // clusters of m.
+//
+//smtlint:noalloc
 func IQTotalOcc(m Machine, t int) int {
 	total := 0
 	for c := 0; c < m.NumClusters(); c++ {

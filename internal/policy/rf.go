@@ -11,12 +11,15 @@ type RFPolicy interface {
 	// MayAllocate reports whether thread t may allocate n more physical
 	// registers of kind k in cluster c under the scheme's accounting.
 	// Physical free-list space is checked separately by the core.
+	//smtlint:noalloc
 	MayAllocate(t int, k isa.RegKind, c int, n int, m Machine) bool
 	// NoteStall records that thread t's rename was blocked this cycle for
 	// lack of registers of kind k (feeds CDPRF's Starvation counters).
+	//smtlint:noalloc
 	NoteStall(t int, k isa.RegKind)
 	// EndCycle runs once per simulated cycle after rename, letting
 	// adaptive schemes accumulate occupancy counters and re-threshold.
+	//smtlint:noalloc
 	EndCycle(m Machine)
 }
 
@@ -31,12 +34,18 @@ func NewNoRF(RFConfig) RFPolicy { return NoRF{} }
 func (NoRF) Name() string { return "none" }
 
 // MayAllocate implements RFPolicy.
+//
+//smtlint:noalloc
 func (NoRF) MayAllocate(int, isa.RegKind, int, int, Machine) bool { return true }
 
 // NoteStall implements RFPolicy.
+//
+//smtlint:noalloc
 func (NoRF) NoteStall(int, isa.RegKind) {}
 
 // EndCycle implements RFPolicy.
+//
+//smtlint:noalloc
 func (NoRF) EndCycle(Machine) {}
 
 // RFConfig parameterizes register-file policies.
@@ -72,14 +81,20 @@ func NewCSSPRF(RFConfig) RFPolicy { return CSSPRF{} }
 func (CSSPRF) Name() string { return "cssprf" }
 
 // MayAllocate implements RFPolicy.
+//
+//smtlint:noalloc
 func (CSSPRF) MayAllocate(t int, k isa.RegKind, c int, n int, m Machine) bool {
 	return m.RFClusterInUse(c, t, k)+n <= m.RFClusterTotal(k)/m.NumThreads()
 }
 
 // NoteStall implements RFPolicy.
+//
+//smtlint:noalloc
 func (CSSPRF) NoteStall(int, isa.RegKind) {}
 
 // EndCycle implements RFPolicy.
+//
+//smtlint:noalloc
 func (CSSPRF) EndCycle(Machine) {}
 
 // CISPRF is the Cluster-Insensitive Static Partitioned Register File: a
@@ -94,14 +109,20 @@ func NewCISPRF(RFConfig) RFPolicy { return CISPRF{} }
 func (CISPRF) Name() string { return "cisprf" }
 
 // MayAllocate implements RFPolicy.
+//
+//smtlint:noalloc
 func (CISPRF) MayAllocate(t int, k isa.RegKind, _ int, n int, m Machine) bool {
 	return m.RFInUse(t, k)+n <= m.RFTotal(k)/m.NumThreads()
 }
 
 // NoteStall implements RFPolicy.
+//
+//smtlint:noalloc
 func (CISPRF) NoteStall(int, isa.RegKind) {}
 
 // EndCycle implements RFPolicy.
+//
+//smtlint:noalloc
 func (CISPRF) EndCycle(Machine) {}
 
 // CDPRF is the paper's proposed Cluster-insensitive Dynamic Partitioned
@@ -163,6 +184,7 @@ func (p *CDPRF) Threshold(t int, k isa.RegKind) int { return p.threshold[t][int(
 // Starvation returns the current starvation counter for thread t, kind k.
 func (p *CDPRF) Starvation(t int, k isa.RegKind) int64 { return p.starv[t][int(k)] }
 
+//smtlint:noalloc
 func (p *CDPRF) ensureInit(m Machine) {
 	if p.initDone {
 		return
@@ -181,6 +203,8 @@ func (p *CDPRF) ensureInit(m Machine) {
 
 // MayAllocate implements RFPolicy. The scheme is cluster-insensitive: the
 // cluster argument is ignored.
+//
+//smtlint:noalloc
 func (p *CDPRF) MayAllocate(t int, k isa.RegKind, _ int, n int, m Machine) bool {
 	p.ensureInit(m)
 	ki := int(k)
@@ -203,10 +227,14 @@ func (p *CDPRF) MayAllocate(t int, k isa.RegKind, _ int, n int, m Machine) bool 
 }
 
 // NoteStall implements RFPolicy.
+//
+//smtlint:noalloc
 func (p *CDPRF) NoteStall(t int, k isa.RegKind) { p.stalled[t][int(k)] = true }
 
 // EndCycle implements RFPolicy: the per-cycle flow of Fig. 7 and the
 // per-interval re-threshold of Fig. 8.
+//
+//smtlint:noalloc
 func (p *CDPRF) EndCycle(m Machine) {
 	p.ensureInit(m)
 	for t := 0; t < p.cfg.NumThreads; t++ {

@@ -8,18 +8,23 @@ type Selector interface {
 	// Name identifies the selector.
 	Name() string
 	// Eligible reports whether thread t may be selected for rename.
+	//smtlint:noalloc
 	Eligible(t int, m Machine) bool
 	// MissStart notifies the selector that thread t's load with per-thread
 	// sequence seq missed the L2 at cycle now.
+	//smtlint:noalloc
 	MissStart(t int, seq uint64, now int64)
 	// MissEnd notifies that one outstanding L2 miss of thread t completed.
+	//smtlint:noalloc
 	MissEnd(t int, now int64)
 	// PendingFlush returns a thread whose instructions younger than
 	// afterSeq must be flushed now. The core performs the flush and calls
 	// FlushDone. ok is false when no flush is pending.
+	//smtlint:noalloc
 	PendingFlush() (thread int, afterSeq uint64, ok bool)
 	// FlushDone acknowledges that the pending flush for thread t was
 	// performed.
+	//smtlint:noalloc
 	FlushDone(thread int)
 }
 
@@ -41,18 +46,28 @@ func NewIcount(int) Selector { return Icount{} }
 func (Icount) Name() string { return "icount" }
 
 // Eligible implements Selector.
+//
+//smtlint:noalloc
 func (Icount) Eligible(int, Machine) bool { return true }
 
 // MissStart implements Selector.
+//
+//smtlint:noalloc
 func (Icount) MissStart(int, uint64, int64) {}
 
 // MissEnd implements Selector.
+//
+//smtlint:noalloc
 func (Icount) MissEnd(int, int64) {}
 
 // PendingFlush implements Selector.
+//
+//smtlint:noalloc
 func (Icount) PendingFlush() (int, uint64, bool) { return 0, 0, false }
 
 // FlushDone implements Selector.
+//
+//smtlint:noalloc
 func (Icount) FlushDone(int) {}
 
 // Stall gates Icount with the long-latency load rule of Tullsen & Brown
@@ -69,9 +84,13 @@ func NewStall(n int) Selector { return &Stall{miss: make([]missState, n)} }
 func (*Stall) Name() string { return "stall" }
 
 // Eligible implements Selector.
+//
+//smtlint:noalloc
 func (s *Stall) Eligible(t int, _ Machine) bool { return s.miss[t].outstanding == 0 }
 
 // MissStart implements Selector.
+//
+//smtlint:noalloc
 func (s *Stall) MissStart(t int, seq uint64, now int64) {
 	ms := &s.miss[t]
 	if ms.outstanding == 0 {
@@ -82,6 +101,8 @@ func (s *Stall) MissStart(t int, seq uint64, now int64) {
 }
 
 // MissEnd implements Selector.
+//
+//smtlint:noalloc
 func (s *Stall) MissEnd(t int, _ int64) {
 	if s.miss[t].outstanding > 0 {
 		s.miss[t].outstanding--
@@ -89,9 +110,13 @@ func (s *Stall) MissEnd(t int, _ int64) {
 }
 
 // PendingFlush implements Selector.
+//
+//smtlint:noalloc
 func (*Stall) PendingFlush() (int, uint64, bool) { return 0, 0, false }
 
 // FlushDone implements Selector.
+//
+//smtlint:noalloc
 func (*Stall) FlushDone(int) {}
 
 // FlushPlus implements the Flush+ scheme of Cazorla et al. (ref [25]): a
@@ -111,6 +136,11 @@ func NewFlushPlus(n int) Selector {
 	return &FlushPlus{
 		miss:    make([]missState, n),
 		flushed: make([]bool, n),
+		// flushed gates MissStart's enqueue to one entry per thread, so n
+		// slots suffice; FlushDone removes by copy-down to keep this
+		// capacity (a [1:] reslice would shed it and force regrowth).
+		pending: make([]int, 0, n),
+		pendSeq: make([]uint64, 0, n),
 	}
 }
 
@@ -119,6 +149,8 @@ func (*FlushPlus) Name() string { return "flush+" }
 
 // earliestMisser returns the thread whose oldest outstanding miss started
 // first, or -1 when no thread has an outstanding miss.
+//
+//smtlint:noalloc
 func (f *FlushPlus) earliestMisser() int {
 	best := -1
 	for t := range f.miss {
@@ -135,6 +167,8 @@ func (f *FlushPlus) earliestMisser() int {
 // Eligible implements Selector. A thread with a pending miss is blocked
 // unless it is the earliest misser while another thread is also missing
 // (the Flush+ refinement over Flush).
+//
+//smtlint:noalloc
 func (f *FlushPlus) Eligible(t int, _ Machine) bool {
 	if f.miss[t].outstanding == 0 {
 		return true
@@ -149,6 +183,8 @@ func (f *FlushPlus) Eligible(t int, _ Machine) bool {
 }
 
 // MissStart implements Selector.
+//
+//smtlint:noalloc
 func (f *FlushPlus) MissStart(t int, seq uint64, now int64) {
 	ms := &f.miss[t]
 	if ms.outstanding == 0 {
@@ -161,12 +197,16 @@ func (f *FlushPlus) MissStart(t int, seq uint64, now int64) {
 		// is the earliest misser of two it will remain eligible (Flush+),
 		// re-fetching the flushed work under the miss shadow.
 		f.flushed[t] = true
+		//smtlint:allow at most one pending flush per thread; capacity pre-sized in NewFlushPlus
 		f.pending = append(f.pending, t)
+		//smtlint:allow grows in lockstep with pending above
 		f.pendSeq = append(f.pendSeq, seq)
 	}
 }
 
 // MissEnd implements Selector.
+//
+//smtlint:noalloc
 func (f *FlushPlus) MissEnd(t int, _ int64) {
 	if f.miss[t].outstanding > 0 {
 		f.miss[t].outstanding--
@@ -177,6 +217,8 @@ func (f *FlushPlus) MissEnd(t int, _ int64) {
 }
 
 // PendingFlush implements Selector.
+//
+//smtlint:noalloc
 func (f *FlushPlus) PendingFlush() (int, uint64, bool) {
 	if len(f.pending) == 0 {
 		return 0, 0, false
@@ -185,9 +227,13 @@ func (f *FlushPlus) PendingFlush() (int, uint64, bool) {
 }
 
 // FlushDone implements Selector.
+//
+//smtlint:noalloc
 func (f *FlushPlus) FlushDone(t int) {
-	if len(f.pending) > 0 && f.pending[0] == t {
-		f.pending = f.pending[1:]
-		f.pendSeq = f.pendSeq[1:]
+	if n := len(f.pending); n > 0 && f.pending[0] == t {
+		copy(f.pending, f.pending[1:])
+		copy(f.pendSeq, f.pendSeq[1:])
+		f.pending = f.pending[:n-1]
+		f.pendSeq = f.pendSeq[:n-1]
 	}
 }

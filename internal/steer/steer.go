@@ -19,6 +19,7 @@ type Steerer interface {
 	// currently resides in cluster c; occ[c] is the issue-queue occupancy
 	// of cluster c and size its capacity. srcCount and occ have one entry
 	// per cluster.
+	//smtlint:noalloc
 	Prefer(t int, srcCount []int, occ []int, size int) int
 }
 
@@ -38,6 +39,8 @@ type DependenceBalance struct {
 func (DependenceBalance) Name() string { return "dep-balance" }
 
 // Prefer implements Steerer.
+//
+//smtlint:noalloc
 func (s DependenceBalance) Prefer(t int, srcCount []int, occ []int, size int) int {
 	n := len(occ)
 	leastLoaded := 0
@@ -77,6 +80,8 @@ func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{next: make([]int, n)}
 func (*RoundRobin) Name() string { return "round-robin" }
 
 // Prefer implements Steerer.
+//
+//smtlint:noalloc
 func (r *RoundRobin) Prefer(t int, _ []int, occ []int, _ int) int {
 	c := r.next[t] % len(occ)
 	r.next[t]++
@@ -91,4 +96,6 @@ type Modulo struct{}
 func (Modulo) Name() string { return "modulo" }
 
 // Prefer implements Steerer.
+//
+//smtlint:noalloc
 func (Modulo) Prefer(t int, _ []int, occ []int, _ int) int { return t % len(occ) }

@@ -115,6 +115,8 @@ func (g *Generator) Profile() Profile { return g.prof }
 
 // noteProducer records that logical register r (of kind k) was just written.
 // The ring advances in place: no per-uop shifting.
+//
+//smtlint:noalloc
 func (g *Generator) noteProducer(k isa.RegKind, r int16) {
 	ring := g.recent[k]
 	h := g.recentHead[k] + 1
@@ -131,6 +133,8 @@ func (g *Generator) noteProducer(k isa.RegKind, r int16) {
 // pickSource selects a source register of kind k at the profile's dependency
 // distance. If no producer has been seen yet it returns an arbitrary
 // register of that kind (architecturally live-in value).
+//
+//smtlint:noalloc
 func (g *Generator) pickSource(k isa.RegKind) int16 {
 	n := g.recentLen[k]
 	if n == 0 {
@@ -149,6 +153,8 @@ func (g *Generator) pickSource(k isa.RegKind) int16 {
 }
 
 // pickDest allocates the next destination register of kind k in rotation.
+//
+//smtlint:noalloc
 func (g *Generator) pickDest(k isa.RegKind) int16 {
 	n := isa.RegCount(k)
 	r := isa.FirstReg(k) + int16(g.dstCursor[k]%n)
@@ -166,6 +172,8 @@ const coldSpan = 256 << 20
 // locality — a strided stream and uniform reuse within the hot working set,
 // plus a ColdFrac tail into a region that never caches — and reports
 // whether the cold region was chosen.
+//
+//smtlint:noalloc
 func (g *Generator) nextAddrClass() (addr uint64, cold bool) {
 	ws := g.prof.WorkingSet
 	x := g.rng.Float64()
@@ -185,12 +193,16 @@ func (g *Generator) nextAddrClass() (addr uint64, cold bool) {
 }
 
 // nextAddr is nextAddrClass without the cold indication.
+//
+//smtlint:noalloc
 func (g *Generator) nextAddr() uint64 {
 	addr, _ := g.nextAddrClass()
 	return addr
 }
 
 // nextPC returns the next synthetic instruction PC.
+//
+//smtlint:noalloc
 func (g *Generator) nextPC() uint64 {
 	pc := g.codePCs[g.pcIdx%len(g.codePCs)]
 	g.pcIdx++
@@ -198,6 +210,8 @@ func (g *Generator) nextPC() uint64 {
 }
 
 // Next generates the next uop in the stream.
+//
+//smtlint:noalloc
 func (g *Generator) Next() isa.Uop {
 	c := genClasses[g.rng.PickTotal(g.weights, g.weightSum)]
 	var u isa.Uop
@@ -314,6 +328,8 @@ func NewWrongPathGenerator(prof Profile, seed uint64) *WrongPathGenerator {
 // Next returns the next wrong-path uop. Branches on the wrong path are
 // emitted as plain uops (the machine squashes the whole path when the
 // triggering branch resolves, so nested redirects are not modelled).
+//
+//smtlint:noalloc
 func (w *WrongPathGenerator) Next() isa.Uop {
 	u := w.g.Next()
 	if u.Class == isa.Branch {

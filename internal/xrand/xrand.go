@@ -42,9 +42,12 @@ func New(seed uint64) *Rand {
 	return &r
 }
 
+//smtlint:noalloc
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.
+//
+//smtlint:noalloc
 func (r *Rand) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
@@ -58,6 +61,8 @@ func (r *Rand) Uint64() uint64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+//smtlint:noalloc
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with n <= 0")
@@ -76,11 +81,15 @@ func (r *Rand) Intn(n int) int {
 }
 
 // Float64 returns a uniform float64 in [0, 1).
+//
+//smtlint:noalloc
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Bool returns true with probability p.
+//
+//smtlint:noalloc
 func (r *Rand) Bool(p float64) bool {
 	return r.Float64() < p
 }
@@ -88,6 +97,8 @@ func (r *Rand) Bool(p float64) bool {
 // Geometric returns a sample from a geometric distribution with success
 // probability p, i.e. the number of failures before the first success
 // (support {0, 1, 2, ...}, mean (1-p)/p). p must be in (0, 1].
+//
+//smtlint:noalloc
 func (r *Rand) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
 		panic("xrand: Geometric requires 0 < p <= 1")
@@ -109,6 +120,8 @@ func (r *Rand) Geometric(p float64) int {
 
 // Pick returns an index in [0, len(weights)) with probability proportional
 // to weights[i]. Weights must be non-negative with a positive sum.
+//
+//smtlint:noalloc
 func (r *Rand) Pick(weights []float64) int {
 	total := 0.0
 	for _, w := range weights {
@@ -120,6 +133,8 @@ func (r *Rand) Pick(weights []float64) int {
 // PickTotal is Pick with the weight sum precomputed by the caller — the
 // same draw arithmetic without re-summing fixed weights on every call.
 // total must equal the left-to-right float64 sum of weights.
+//
+//smtlint:noalloc
 func (r *Rand) PickTotal(weights []float64, total float64) int {
 	if total <= 0 {
 		panic("xrand: Pick with non-positive total weight")
