@@ -29,11 +29,13 @@ for sec in $(grep -rhoE 'DESIGN\.md §[0-9]+' --include='*.go' . | grep -oE '[0-
   fi
 done
 
-# 3. docs/API.md and the service mux must agree on the route set, in both
-#    directions: an undocumented registration and a documented-but-gone
-#    route both fail. The code side is the literal mux.HandleFunc
-#    patterns; the doc side is every backticked `METHOD /path` span.
-routes_code="$(grep -oE 'mux\.HandleFunc\("[A-Z]+ [^"]+"' internal/campaign/service/http.go \
+# 3. docs/API.md and the muxes (service + fleet coordinator) must agree on
+#    the route set, in both directions: an undocumented registration and a
+#    documented-but-gone route both fail. The code side is the literal
+#    mux.HandleFunc patterns; the doc side is every backticked
+#    `METHOD /path` span.
+routes_code="$(grep -ohE 'mux\.HandleFunc\("[A-Z]+ [^"]+"' \
+    internal/campaign/service/http.go internal/campaign/fleet/http.go \
   | sed -E 's/.*\("//; s/"$//' | sort -u)"
 routes_doc="$(grep -oE '`(GET|HEAD|POST|PUT|PATCH|DELETE) /[^`]*`' docs/API.md \
   | tr -d '\`' | sort -u)"
@@ -41,9 +43,9 @@ if [ -z "$routes_code" ] || [ -z "$routes_doc" ]; then
   echo "route extraction produced an empty list (check-doc-refs.sh pattern rot?)" >&2
   fail=1
 elif [ "$routes_code" != "$routes_doc" ]; then
-  echo "docs/API.md and internal/campaign/service/http.go route sets drifted:" >&2
+  echo "docs/API.md and the service/fleet mux route sets drifted:" >&2
   diff <(echo "$routes_doc") <(echo "$routes_code") >&2 || true
-  echo "(left: documented in docs/API.md; right: registered on the mux)" >&2
+  echo "(left: documented in docs/API.md; right: registered on a mux)" >&2
   fail=1
 fi
 

@@ -23,9 +23,13 @@
 //	expdriver bench diff -tol 0.05 old.json new.json     # gate on regressions
 //
 //	expdriver serve -addr :8080 -store .campaign         # campaign service daemon
+//	expdriver serve -fleet -addr :8080                   # fleet coordinator mode
+//	expdriver worker -coordinator http://host:8080       # fleet worker process
 //	expdriver submit -wait examples/campaign/iqsweep.json # POST a manifest to it
 //	expdriver status [job-id]                            # job list / per-item progress
 //	expdriver cancel job-id                              # stop a running campaign
+//
+//	expdriver store gc -store .campaign -max-age 720h    # compact the result store
 //
 //	expdriver report -quick -o out.html examples/campaign/iqsweep.json # static HTML report with time-series sparklines
 //
@@ -64,6 +68,10 @@ func main() {
 			os.Exit(runBench(rest))
 		case "serve":
 			os.Exit(runServe(rest))
+		case "worker":
+			os.Exit(runWorker(rest))
+		case "store":
+			os.Exit(runStoreCmd(rest))
 		case "submit":
 			os.Exit(runSubmit(rest))
 		case "status":
@@ -82,7 +90,7 @@ func main() {
 			// Only flags fall through to figure/campaign mode; a mistyped
 			// subcommand must not silently start the full experiment suite.
 			if !strings.HasPrefix(sub, "-") {
-				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|bench|serve|submit|status|cancel|report|schemes|components|workloads; flags select figure/campaign mode)\n", sub)
+				fmt.Fprintf(os.Stderr, "expdriver: unknown subcommand %q (diff|bench|serve|worker|store|submit|status|cancel|report|schemes|components|workloads; flags select figure/campaign mode)\n", sub)
 				os.Exit(2)
 			}
 		}

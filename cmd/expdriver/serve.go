@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"clustersmt/internal/campaign"
+	"clustersmt/internal/campaign/fleet"
 	"clustersmt/internal/campaign/service"
 	"clustersmt/internal/campaign/store"
 	"clustersmt/internal/report"
@@ -33,6 +34,9 @@ func runServe(args []string) int {
 	maxFinished := fs.Int("max-finished", 512, "retained finished jobs (oldest evicted beyond this; their results stay in the store)")
 	sampleInterval := fs.Int64("sample-interval", 0, "time-series window in cycles for the SSE event stream (0 = default 8192, rounded up to a power of two; negative disables sampling)")
 	eventBuffer := fs.Int("event-buffer", 0, "per-job event ring size for GET /v1/campaigns/{id}/events (0 = 1024)")
+	fleetMode := fs.Bool("fleet", false, "coordinator mode: dispatch items to registered fleet workers instead of simulating in-process (see `expdriver worker`)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "with -fleet: lease/heartbeat ttl before a worker's items requeue")
+	retryMax := fs.Int("retry-max", 4, "with -fleet: attempts per item before it is poisoned (terminal failure)")
 	verbose := fs.Bool("v", false, "log every simulation")
 	fs.Parse(args)
 
@@ -51,6 +55,17 @@ func runServe(args []string) int {
 	}
 	if *verbose {
 		cfg.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if *fleetMode {
+		// The coordinator shares the daemon's store: fleet workers read and
+		// write it over /v1/store, so local and fleet runs hit one cache.
+		cfg.Fleet = fleet.NewCoordinator(fleet.Config{
+			Store:       cfg.Store,
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *retryMax,
+			Verbose:     cfg.Verbose,
+		})
+		fmt.Fprintf(os.Stderr, "fleet: coordinator mode (lease ttl %s, %d attempts/item)\n", *leaseTTL, *retryMax)
 	}
 	svc := service.New(cfg)
 

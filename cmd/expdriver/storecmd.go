@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clustersmt/internal/campaign/store"
+)
+
+// runStoreCmd implements `expdriver store`: maintenance operations on a
+// content-addressed result store directory. Currently one verb:
+//
+//	expdriver store gc [-store dir] [-max-age d] [-max-entries n] [-dry-run]
+func runStoreCmd(args []string) int {
+	if len(args) == 0 || args[0] != "gc" {
+		fmt.Fprintln(os.Stderr, "usage: expdriver store gc [-store dir] [-max-age duration] [-max-entries N] [-dry-run]")
+		return 2
+	}
+	fs := flag.NewFlagSet("store gc", flag.ExitOnError)
+	storeDir := fs.String("store", ".campaign", "result store directory")
+	maxAge := fs.Duration("max-age", 0, "evict entries older than this (0 = no age cap)")
+	maxEntries := fs.Int("max-entries", 0, "keep at most this many entries, evicting oldest first (0 = no count cap)")
+	dryRun := fs.Bool("dry-run", false, "report what would be removed without deleting anything")
+	fs.Parse(args[1:])
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+
+	if _, err := os.Stat(*storeDir); err != nil {
+		fmt.Fprintf(os.Stderr, "store gc: %v\n", err)
+		return 1
+	}
+	s, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	start := time.Now()
+	rep, err := s.GC(store.GCOptions{MaxAge: *maxAge, MaxEntries: *maxEntries, DryRun: *dryRun})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "store gc: %v\n", err)
+		return 1
+	}
+	mode := "removed"
+	if *dryRun {
+		mode = "would remove"
+	}
+	fmt.Printf("store gc: scanned %d entries in %s; %s %d temp files, %d corrupt, %d expired, %d over cap; %d remain\n",
+		rep.Scanned, time.Since(start).Round(time.Millisecond), mode,
+		rep.TempFiles, rep.Corrupt, rep.Expired, rep.Evicted, rep.Remaining)
+	return 0
+}

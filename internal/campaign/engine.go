@@ -4,13 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"clustersmt/internal/core"
 	"clustersmt/internal/experiments"
 	"clustersmt/internal/metrics"
-	"clustersmt/internal/policy"
 )
 
 // Engine executes expanded campaigns on experiments runners, one per trace
@@ -21,6 +19,11 @@ import (
 // calls, so concurrent campaigns submitted to one Engine — the service
 // daemon's configuration — deduplicate overlapping specs exactly once even
 // while both are in flight.
+//
+// The Engine is the in-process execution strategy over a campaign Plan;
+// the fleet coordinator (internal/campaign/fleet) is the distributed one.
+// Both fill the Plan's ResultSet through the same assembly code, so a
+// fleet run of a manifest is bit-for-bit comparable to a local run.
 type Engine struct {
 	// Store is the persistent result layer (typically *store.Store). Nil
 	// runs the campaign memory-only.
@@ -117,17 +120,6 @@ type ResultSet struct {
 	Results   []Result `json:"results"`
 }
 
-// schemeSpecEcho renders the full component composition of a canonical
-// scheme reference for result rows ("" when unparseable — the item's error
-// field carries the diagnosis).
-func schemeSpecEcho(scheme string) string {
-	sp, err := policy.ParseSpec(scheme)
-	if err != nil {
-		return ""
-	}
-	return sp.Format()
-}
-
 // baselinePoint identifies one single-thread baseline coordinate. The
 // machine shape participates: a baseline on a 1-cluster machine must not
 // answer for an SMT run on 4 clusters.
@@ -219,29 +211,11 @@ func (e *Engine) Run(m *Manifest) (*ResultSet, error) {
 // the partial ResultSet. The progress callback (optional) is invoked from
 // worker goroutines and must be safe for concurrent use.
 func (e *Engine) RunCtx(ctx context.Context, m *Manifest, progress func(ItemEvent)) (*ResultSet, error) {
-	items, err := m.Expand()
+	plan, err := NewPlan(m)
 	if err != nil {
 		return nil, err
 	}
-	rs := &ResultSet{
-		Campaign: m.Name,
-		Version:  core.SimVersion,
-		Total:    len(items),
-		Results:  make([]Result, len(items)),
-	}
-
-	// One runner per trace length; the engine shares runners (and their
-	// in-memory layer) across campaigns, so concurrent submissions of
-	// overlapping manifests singleflight into one execution per spec.
-	byLen := map[int][]int{}
-	for i, it := range items {
-		byLen[it.TraceLen] = append(byLen[it.TraceLen], i)
-	}
-	lens := make([]int, 0, len(byLen))
-	for tl := range byLen {
-		lens = append(lens, tl)
-	}
-	sort.Ints(lens)
+	rs := plan.NewResultSet(core.SimVersion)
 
 	// Per-item time series, collected outside the Result until the item
 	// completes. Safe without a lock: exactly one worker simulates item i,
@@ -249,55 +223,25 @@ func (e *Engine) RunCtx(ctx context.Context, m *Manifest, progress func(ItemEven
 	// same goroutine.
 	var samples [][]metrics.Sample
 	if e.SampleInterval > 0 {
-		samples = make([][]metrics.Sample, len(items))
+		samples = make([][]metrics.Sample, len(plan.Items))
 	}
 
-	for _, tl := range lens {
-		idxs := byLen[tl]
+	// One runner per trace length; the engine shares runners (and their
+	// in-memory layer) across campaigns, so concurrent submissions of
+	// overlapping manifests singleflight into one execution per spec.
+	for _, tl := range plan.TraceLens() {
+		idxs := plan.Indices(tl)
 		r := e.runnerFor(tl)
 		specs := make([]experiments.Spec, len(idxs))
 		for j, i := range idxs {
-			specs[j] = items[i].Spec
+			specs[j] = plan.Items[i].Spec
 		}
 		p := &experiments.Progress{
 			Finished: func(j int, st *metrics.Stats, executed bool, err error) {
 				i := idxs[j]
-				it := items[i]
-				res := Result{
-					Label:        it.Label(),
-					Workload:     it.Base,
-					Scheme:       it.Spec.Scheme,
-					SchemeSpec:   schemeSpecEcho(it.Spec.Scheme),
-					IQSize:       it.Spec.IQSize,
-					RegsPerClust: it.Spec.RegsPerClust,
-					ROBPerThread: it.Spec.ROBPerThread,
-					TraceLen:     it.TraceLen,
-					Rep:          it.Rep,
-					SingleThread: it.Spec.SingleThread,
-					NumClusters:  it.Spec.NumClusters,
-					Links:        it.Spec.Links,
-					LinkLatency:  it.Spec.LinkLatency,
-					MemLatency:   it.Spec.MemLatency,
-					Key:          r.CacheKey(it.Spec),
-				}
-				switch {
-				case err != nil:
-					res.Error = err.Error()
-				case st != nil:
-					res.Cached = !executed
-					res.IPC = st.IPC()
-					res.CopiesPerRet = st.CopiesPerRetired()
-					res.IQStallsRet = st.IQStallsPerRetired()
-					if it.Spec.SingleThread < 0 {
-						for t := range it.Spec.Workload.Threads {
-							res.ThreadIPC = append(res.ThreadIPC, st.ThreadIPC(t))
-						}
-					}
-					if executed && samples != nil {
-						res.Samples = samples[i]
-					}
-				default:
-					res.Error = "simulation failed"
+				res := plan.Result(i, r.CacheKey(plan.Items[i].Spec), st, executed, err)
+				if executed && samples != nil {
+					res.Samples = samples[i]
 				}
 				rs.Results[i] = res
 				if progress != nil {
@@ -324,52 +268,8 @@ func (e *Engine) RunCtx(ctx context.Context, m *Manifest, progress func(ItemEven
 		_, _ = r.RunAllCtx(ctx, specs, p)
 	}
 
-	if m.SingleThreadBaselines {
-		e.fillFairness(items, rs)
-	}
-
-	for i := range rs.Results {
-		switch {
-		case rs.Results[i].Error != "":
-			rs.Failed++
-		case rs.Results[i].Cached:
-			rs.StoreHits++
-		default:
-			rs.Executed++
-		}
-	}
+	plan.Finalize(rs)
 	return rs, nil
-}
-
-// fillFairness computes the §4 fairness metric for every SMT result whose
-// per-thread Icount baselines all completed at the same axis point.
-func (e *Engine) fillFairness(items []Item, rs *ResultSet) {
-	single := map[baselinePoint]float64{}
-	for i, it := range items {
-		if it.Spec.SingleThread >= 0 && rs.Results[i].Error == "" {
-			single[pointOf(it, it.Spec.SingleThread)] = rs.Results[i].IPC
-		}
-	}
-	for i, it := range items {
-		if it.Spec.SingleThread >= 0 || rs.Results[i].Error != "" {
-			continue
-		}
-		n := len(it.Spec.Workload.Threads)
-		if len(rs.Results[i].ThreadIPC) != n {
-			continue
-		}
-		singles := make([]float64, 0, n)
-		for t := 0; t < n; t++ {
-			ipc, ok := single[pointOf(it, t)]
-			if !ok {
-				break
-			}
-			singles = append(singles, ipc)
-		}
-		if len(singles) == n {
-			rs.Results[i].Fairness = metrics.Fairness(singles, rs.Results[i].ThreadIPC)
-		}
-	}
 }
 
 // Err aggregates the set's per-item failures into one error (nil when the

@@ -49,6 +49,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// Coordinator mode adds the fleet surface (worker registration, lease
+	// dispatch, shared store) alongside the campaign API on one listener.
+	if s.fleet != nil {
+		s.fleet.Register(mux)
+	}
 	return mux
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"clustersmt/internal/campaign"
+	"clustersmt/internal/campaign/fleet"
 	"clustersmt/internal/core"
 	"clustersmt/internal/experiments"
 )
@@ -73,6 +74,15 @@ type Config struct {
 	// or absent SSE consumer costs at most this many retained events per
 	// job; older events are dropped, and the stream marks the gap.
 	EventBuffer int
+	// Fleet, when set, turns the daemon into a fleet coordinator: jobs
+	// execute on the coordinator's distributed dispatch queue (remote
+	// workers lease items over the fleet routes, which Handler mounts)
+	// instead of the in-process engine, and Store should be the same store
+	// handed to the coordinator so the fleet's shared cache and the
+	// daemon's result history are one. Nil keeps the default single-process
+	// mode, byte-identical to previous releases. Fleet jobs carry no
+	// per-item time series (workers do not stream samples).
+	Fleet *fleet.Coordinator
 }
 
 // ItemStatus is one expanded item's live progress view.
@@ -139,8 +149,9 @@ type job struct {
 // Service runs campaign jobs submitted over HTTP on a shared engine.
 // Create one with New and expose Handler; Close drains it.
 type Service struct {
-	eng *campaign.Engine
-	met svcMetrics
+	eng   *campaign.Engine
+	fleet *fleet.Coordinator
+	met   svcMetrics
 
 	verbose     func(string)
 	maxFinished int
@@ -197,6 +208,7 @@ func New(cfg Config) *Service {
 			Verbose:        cfg.Verbose,
 			SampleInterval: sample,
 		},
+		fleet:       cfg.Fleet,
 		verbose:     cfg.Verbose,
 		maxFinished: maxFinished,
 		eventBuffer: eventBuffer,
@@ -431,7 +443,14 @@ func (s *Service) runJob(j *job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 
-	rs, err := s.eng.RunCtx(j.ctx, j.manifest, func(ev campaign.ItemEvent) {
+	// Both executors share one signature and one progress/cancellation
+	// contract over the campaign Plan; fleet mode swaps where the
+	// simulations run, not what the job observes.
+	runCtx := s.eng.RunCtx
+	if s.fleet != nil {
+		runCtx = s.fleet.RunCtx
+	}
+	rs, err := runCtx(j.ctx, j.manifest, func(ev campaign.ItemEvent) {
 		s.met.onItem(ev)
 		j.onEvent(ev)
 		j.publish(ev)

@@ -1,0 +1,77 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"clustersmt/internal/metrics"
+)
+
+// ValidKey accepts the hex-SHA-256 keys the runner produces. Session-local
+// fallback keys ("spec:...") are rejected: they are not content-addressed,
+// so persisting or transmitting them would poison later runs.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeEntry renders one result in the store's checksummed entry format —
+// the same bytes whether the entry lands on disk or travels the fleet's
+// /v1/store wire: a self-validating JSON document carrying its format
+// version, its key and a SHA-256 over the embedded stats.
+func EncodeEntry(key string, st *metrics.Stats) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal stats: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	// Compact, not indented: indentation would rewrite the embedded Stats
+	// bytes and break the checksum round-trip.
+	b, err := json.Marshal(entry{
+		Format:   formatVersion,
+		Key:      key,
+		Checksum: hex.EncodeToString(sum[:]),
+		Stats:    payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal entry: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeEntry parses and fully validates entry bytes claimed to hold key:
+// format version, key echo and checksum must all match before the stats
+// are trusted. Every failure is an error — callers (disk reads, the remote
+// store client, the coordinator's PUT handler) treat it as "no such
+// result", never as data.
+func DecodeEntry(key string, b []byte) (*metrics.Stats, error) {
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("store: corrupt entry %s: %w", key, err)
+	}
+	if e.Format != formatVersion {
+		return nil, fmt.Errorf("store: entry %s has format %d, want %d", key, e.Format, formatVersion)
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("store: entry %s claims key %s", key, e.Key)
+	}
+	sum := sha256.Sum256(e.Stats)
+	if hex.EncodeToString(sum[:]) != e.Checksum {
+		return nil, fmt.Errorf("store: entry %s failed its checksum", key)
+	}
+	st := &metrics.Stats{}
+	if err := json.Unmarshal(e.Stats, st); err != nil {
+		return nil, fmt.Errorf("store: corrupt stats in %s: %w", key, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// gcFixture builds a store with n valid entries whose modification times
+// step back one hour per index (entry 0 is oldest), plus one leftover temp
+// file and one corrupt entry.
+func gcFixture(t *testing.T, n int) (*Store, []string) {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, n)
+	now := time.Now()
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i+1)
+		if err := s.Put(keys[i], testStats()); err != nil {
+			t.Fatal(err)
+		}
+		mtime := now.Add(-time.Duration(n-i) * time.Hour)
+		if err := os.Chtimes(s.path(keys[i]), mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An interrupted atomic write leaves a temp file behind.
+	tmp := filepath.Join(filepath.Dir(s.path(keys[0])), "."+keys[0]+".tmp12345")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt entry under a valid key/filename.
+	corrupt := "ff" + keys[0][2:]
+	if err := os.MkdirAll(filepath.Dir(s.path(corrupt)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(corrupt), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return s, keys
+}
+
+// TestGCRemovesGarbage: the zero-option pass removes temp files and
+// corrupt entries, nothing else.
+func TestGCRemovesGarbage(t *testing.T) {
+	s, keys := gcFixture(t, 4)
+	rep, err := s.GC(GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TempFiles != 1 || rep.Corrupt != 1 || rep.Expired != 0 || rep.Evicted != 0 {
+		t.Fatalf("report = %+v, want 1 temp + 1 corrupt removed", rep)
+	}
+	if rep.Remaining != len(keys) {
+		t.Fatalf("remaining = %d, want %d", rep.Remaining, len(keys))
+	}
+	for _, k := range keys {
+		if _, ok, err := s.Get(k); !ok || err != nil {
+			t.Errorf("valid entry %s lost: (%v, %v)", k, ok, err)
+		}
+	}
+}
+
+// TestGCAgeCap: entries older than MaxAge evict oldest-first; the rest
+// survive.
+func TestGCAgeCap(t *testing.T) {
+	s, keys := gcFixture(t, 4) // mtimes: 4h, 3h, 2h, 1h ago
+	rep, err := s.GC(GCOptions{MaxAge: 150 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Expired != 2 || rep.Remaining != 2 {
+		t.Fatalf("report = %+v, want 2 expired, 2 remaining", rep)
+	}
+	for i, k := range keys {
+		_, ok, _ := s.Get(k)
+		if wantGone := i < 2; ok == wantGone {
+			t.Errorf("entry %d (age %dh): present=%v", i, 4-i, ok)
+		}
+	}
+}
+
+// TestGCCountCap: MaxEntries keeps the newest N.
+func TestGCCountCap(t *testing.T) {
+	s, keys := gcFixture(t, 5)
+	rep, err := s.GC(GCOptions{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evicted != 3 || rep.Remaining != 2 {
+		t.Fatalf("report = %+v, want 3 evicted, 2 remaining", rep)
+	}
+	for i, k := range keys {
+		_, ok, _ := s.Get(k)
+		if wantGone := i < 3; ok == wantGone {
+			t.Errorf("entry %d: present=%v", i, ok)
+		}
+	}
+	if n, _ := s.Len(); n != 2 {
+		t.Fatalf("Len = %d after gc, want 2", n)
+	}
+}
+
+// TestGCDryRun reports the full pass without touching a single file.
+func TestGCDryRun(t *testing.T) {
+	s, keys := gcFixture(t, 3)
+	rep, err := s.GC(GCOptions{MaxEntries: 1, MaxAge: 90 * time.Minute, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TempFiles != 1 || rep.Corrupt != 1 || rep.Expired+rep.Evicted == 0 {
+		t.Fatalf("dry run report = %+v, want the real pass's numbers", rep)
+	}
+	for _, k := range keys {
+		if _, ok, err := s.Get(k); !ok || err != nil {
+			t.Errorf("dry run removed entry %s", k)
+		}
+	}
+	// The garbage is still there too.
+	rep2, err := s.GC(GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TempFiles != 1 || rep2.Corrupt != 1 {
+		t.Fatalf("dry run deleted garbage: second pass found %+v", rep2)
+	}
+}
+
+// TestGCEmptyStore: a fresh directory is a clean no-op.
+func TestGCEmptyStore(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.GC(GCOptions{MaxAge: time.Hour, MaxEntries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *rep != (GCReport{}) {
+		t.Fatalf("empty store report = %+v, want zeros", rep)
+	}
+}

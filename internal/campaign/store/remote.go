@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"clustersmt/internal/metrics"
+)
+
+// maxEntryBytes bounds one store entry on the wire. A Stats document is a
+// few KB; a megabyte of headroom keeps the limit irrelevant for honest
+// peers while a confused or hostile one cannot balloon memory.
+const maxEntryBytes = 1 << 20
+
+// Remote is an HTTP client for a fleet coordinator's result store routes
+// (GET/PUT /v1/store/{key}), implementing experiments.ResultStore. Entries
+// travel in the same checksummed format the disk store uses, validated with
+// DecodeEntry on receipt, so a corrupt or tampered response is an error —
+// which the runner and the Layered store both treat as a miss, never as
+// data, and Layered's no-backfill-on-error rule keeps it out of local
+// caches.
+//
+// Workers layer Remote under their in-memory (and optionally local disk)
+// store: reads check the fast layers first and fall through to the
+// coordinator, writes replicate fresh results to the whole fleet. It is
+// safe for concurrent use.
+type Remote struct {
+	base   string
+	client *http.Client
+}
+
+// NewRemote returns a remote store talking to the coordinator at base
+// (e.g. "http://host:8080"). A nil client selects http.DefaultClient.
+func NewRemote(base string, client *http.Client) (*Remote, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote base %q: %w", base, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("store: remote base %q: need scheme://host", base)
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Remote{base: strings.TrimRight(base, "/"), client: client}, nil
+}
+
+func (r *Remote) url(key string) string { return r.base + "/v1/store/" + key }
+
+// Get fetches the result stored under key on the coordinator. Transport
+// failures and invalid entries are errors (a miss with a diagnosis);
+// a 404 is a plain miss.
+func (r *Remote) Get(key string) (*metrics.Stats, bool, error) {
+	if !ValidKey(key) {
+		return nil, false, nil
+	}
+	resp, err := r.client.Get(r.url(key))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: remote get %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, fmt.Errorf("store: remote get %s: %s", key, resp.Status)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: remote get %s: %w", key, err)
+	}
+	st, err := DecodeEntry(key, b)
+	if err != nil {
+		return nil, false, err
+	}
+	return st, true, nil
+}
+
+// Put uploads st under key. Session-local keys are dropped silently, like
+// the disk store. The coordinator re-validates the entry (422 on checksum
+// or key mismatch), so one bad writer cannot poison the shared cache.
+func (r *Remote) Put(key string, st *metrics.Stats) error {
+	if !ValidKey(key) {
+		return nil
+	}
+	b, err := EncodeEntry(key, st)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, r.url(key), bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("store: remote put %s: %w", key, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: remote put %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("store: remote put %s: %s", key, resp.Status)
+	}
+	return nil
+}

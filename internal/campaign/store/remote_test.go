@@ -1,0 +1,206 @@
+package store
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// storeServer is a minimal coordinator-store stand-in: entries live as raw
+// wire bytes, PUT re-validates with DecodeEntry exactly like the fleet
+// coordinator does. Keeping it here (not importing the fleet package)
+// pins the wire protocol from the client side alone.
+type storeServer struct {
+	mu       sync.Mutex
+	entries  map[string][]byte
+	requests int
+}
+
+func newStoreServer() *storeServer {
+	return &storeServer{entries: map[string][]byte{}}
+}
+
+func (s *storeServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.requests++
+		b, ok := s.entries[r.PathValue("key")]
+		s.mu.Unlock()
+		if !ok {
+			http.Error(w, "no entry", http.StatusNotFound)
+			return
+		}
+		w.Write(b)
+	})
+	mux.HandleFunc("PUT /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		key := r.PathValue("key")
+		if _, err := DecodeEntry(key, b); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		s.mu.Lock()
+		s.requests++
+		s.entries[key] = b
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func (s *storeServer) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+func (s *storeServer) bytes(key string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[key]
+}
+
+// TestRemoteRoundTripMatchesLocal: the same stats stored through Remote
+// and through the disk store must read back identically, and the wire
+// bytes must be the disk format byte-for-byte.
+func TestRemoteRoundTripMatchesLocal(t *testing.T) {
+	srv := newStoreServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	remote, err := NewRemote(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := testStats()
+	if err := remote.Put(keyA, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Put(keyA, want); err != nil {
+		t.Fatal(err)
+	}
+
+	viaRemote, ok, err := remote.Get(keyA)
+	if err != nil || !ok {
+		t.Fatalf("remote Get = (%v, %v)", ok, err)
+	}
+	viaDisk, ok, err := disk.Get(keyA)
+	if err != nil || !ok {
+		t.Fatalf("disk Get = (%v, %v)", ok, err)
+	}
+	if viaRemote.Cycles != viaDisk.Cycles || viaRemote.IPC() != viaDisk.IPC() ||
+		viaRemote.IQStalls != viaDisk.IQStalls || viaRemote.Imbalance != viaDisk.Imbalance {
+		t.Errorf("remote and local disagree:\nremote: %+v\ndisk:   %+v", viaRemote, viaDisk)
+	}
+
+	wireBytes := srv.bytes(keyA)
+	diskBytes, err := EncodeEntry(keyA, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wireBytes) != string(diskBytes) {
+		t.Error("wire format diverged from disk format")
+	}
+}
+
+// TestRemoteMissIsSilent: a 404 is a plain miss, not an error.
+func TestRemoteMissIsSilent(t *testing.T) {
+	ts := httptest.NewServer(newStoreServer().handler())
+	defer ts.Close()
+	remote, err := NewRemote(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok, err := remote.Get(keyA); st != nil || ok || err != nil {
+		t.Errorf("Get(absent) = (%v, %v, %v), want clean miss", st, ok, err)
+	}
+}
+
+// TestRemoteCorruptEntryIsErrorNotData: a server answering with tampered
+// bytes must produce a Get error — which keeps Layered from backfilling
+// local caches with it (the no-cache-write rule the fleet relies on).
+func TestRemoteCorruptEntryIsErrorNotData(t *testing.T) {
+	srv := newStoreServer()
+	good, err := EncodeEntry(keyA, testStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := []byte(strings.Replace(string(good), `"Cycles":1234`, `"Cycles":9234`, 1))
+	if string(tampered) == string(good) {
+		t.Fatal("tamper had no effect; test is broken")
+	}
+	srv.entries[keyA] = tampered
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	remote, err := NewRemote(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok, err := remote.Get(keyA)
+	if st != nil || ok {
+		t.Fatalf("tampered entry served as data: (%v, %v, %v)", st, ok, err)
+	}
+	if err == nil {
+		t.Error("tampered entry rejected without a diagnosis")
+	}
+}
+
+// TestRemotePutRejectedSurfacesError: a coordinator refusing a PUT (422)
+// must be an error, not a silent drop.
+func TestRemotePutRejectedSurfacesError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "checksum mismatch", http.StatusUnprocessableEntity)
+	}))
+	defer ts.Close()
+	remote, err := NewRemote(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Put(keyA, testStats()); err == nil {
+		t.Error("rejected put reported success")
+	}
+}
+
+// TestRemoteSessionLocalKeysNeverLeaveTheProcess: "spec:" fallback keys
+// are meaningless outside one process and must not generate any HTTP
+// traffic, matching the disk store's silent drop.
+func TestRemoteSessionLocalKeysNeverLeaveTheProcess(t *testing.T) {
+	srv := newStoreServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	remote, err := NewRemote(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Put("spec:wl|icount|iq32", testStats()); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok, err := remote.Get("spec:wl|icount|iq32"); st != nil || ok || err != nil {
+		t.Errorf("session-local Get = (%v, %v, %v), want silent miss", st, ok, err)
+	}
+	if n := srv.count(); n != 0 {
+		t.Errorf("session-local keys generated %d HTTP requests", n)
+	}
+}
+
+// TestNewRemoteValidatesBase: a base URL without scheme://host is a
+// configuration error caught at construction, not at first request.
+func TestNewRemoteValidatesBase(t *testing.T) {
+	for _, base := range []string{"", "localhost:8080", "/just/a/path", "://nope"} {
+		if _, err := NewRemote(base, nil); err == nil {
+			t.Errorf("NewRemote(%q) accepted an unusable base", base)
+		}
+	}
+	if _, err := NewRemote("http://localhost:8080/", nil); err != nil {
+		t.Errorf("NewRemote rejected a good base: %v", err)
+	}
+}

@@ -13,8 +13,6 @@
 package store
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -60,26 +58,10 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
-// validKey accepts the hex-SHA-256 keys the runner produces. Session-local
-// fallback keys ("spec:...") are rejected: they are not content-addressed,
-// so persisting them would poison later runs.
-func validKey(key string) bool {
-	if len(key) != 64 {
-		return false
-	}
-	for i := 0; i < len(key); i++ {
-		c := key[i]
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
-}
-
 // Get loads the result stored under key. A corrupt or mismatched entry
 // yields (nil, false, err) — a miss with a diagnosis, never bad data.
 func (s *Store) Get(key string) (*metrics.Stats, bool, error) {
-	if !validKey(key) {
+	if !ValidKey(key) {
 		return nil, false, nil
 	}
 	b, err := os.ReadFile(s.path(key))
@@ -89,23 +71,9 @@ func (s *Store) Get(key string) (*metrics.Stats, bool, error) {
 		}
 		return nil, false, fmt.Errorf("store: read %s: %w", key, err)
 	}
-	var e entry
-	if err := json.Unmarshal(b, &e); err != nil {
-		return nil, false, fmt.Errorf("store: corrupt entry %s: %w", key, err)
-	}
-	if e.Format != formatVersion {
-		return nil, false, fmt.Errorf("store: entry %s has format %d, want %d", key, e.Format, formatVersion)
-	}
-	if e.Key != key {
-		return nil, false, fmt.Errorf("store: entry %s claims key %s", key, e.Key)
-	}
-	sum := sha256.Sum256(e.Stats)
-	if hex.EncodeToString(sum[:]) != e.Checksum {
-		return nil, false, fmt.Errorf("store: entry %s failed its checksum", key)
-	}
-	st := &metrics.Stats{}
-	if err := json.Unmarshal(e.Stats, st); err != nil {
-		return nil, false, fmt.Errorf("store: corrupt stats in %s: %w", key, err)
+	st, err := DecodeEntry(key, b)
+	if err != nil {
+		return nil, false, err
 	}
 	return st, true, nil
 }
@@ -113,24 +81,12 @@ func (s *Store) Get(key string) (*metrics.Stats, bool, error) {
 // Put persists st under key atomically. Session-local keys are dropped
 // silently (they are valid only within one process).
 func (s *Store) Put(key string, st *metrics.Stats) error {
-	if !validKey(key) {
+	if !ValidKey(key) {
 		return nil
 	}
-	payload, err := json.Marshal(st)
+	b, err := EncodeEntry(key, st)
 	if err != nil {
-		return fmt.Errorf("store: marshal stats: %w", err)
-	}
-	sum := sha256.Sum256(payload)
-	// Compact, not indented: indentation would rewrite the embedded Stats
-	// bytes and break the checksum round-trip.
-	b, err := json.Marshal(entry{
-		Format:   formatVersion,
-		Key:      key,
-		Checksum: hex.EncodeToString(sum[:]),
-		Stats:    payload,
-	})
-	if err != nil {
-		return fmt.Errorf("store: marshal entry: %w", err)
+		return err
 	}
 	dir := filepath.Dir(s.path(key))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -140,7 +96,7 @@ func (s *Store) Put(key string, st *metrics.Stats) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if _, err := tmp.Write(append(b, '\n')); err != nil {
+	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: write %s: %w", key, err)
@@ -174,7 +130,7 @@ func (s *Store) Keys() ([]string, error) {
 		}
 		for _, f := range files {
 			key, ok := strings.CutSuffix(f.Name(), ".json")
-			if ok && validKey(key) && strings.HasPrefix(key, b.Name()) {
+			if ok && ValidKey(key) && strings.HasPrefix(key, b.Name()) {
 				out = append(out, key)
 			}
 		}

@@ -1,8 +1,11 @@
-// Package lockcheck enforces the campaign service's locking discipline: no
-// blocking operation while holding one of the service's mutexes. The
-// daemon's liveness argument (a slow SSE reader, a full queue, or a stuck
-// simulation can never wedge the API) rests on every s.mu/j.mu/events.mu
-// critical section being a short, purely local computation; this analyzer
+// Package lockcheck enforces the campaign service's and fleet's locking
+// discipline: no blocking operation while holding one of their mutexes.
+// The daemon's liveness argument (a slow SSE reader, a full queue, or a
+// stuck simulation can never wedge the API) rests on every s.mu/j.mu/
+// events.mu critical section being a short, purely local computation, and
+// the fleet coordinator's argument (a slow worker can never wedge the
+// dispatch queue — OnLease/OnDone callbacks fire after unlock) rests on
+// the same rule for queue/registry/coordinator sections; this analyzer
 // rejects channel sends/receives, selects without a default, time.Sleep,
 // Run/Wait-style calls, and http.ResponseWriter writes performed between a
 // Lock and its Unlock in the same function.
@@ -48,8 +51,11 @@ var mutexMethods = map[string]int{
 
 func run(pass *lint.Pass) error {
 	// The locking discipline this analyzer encodes belongs to the campaign
-	// service; other packages have their own (checked dynamically).
-	if pass.Pkg.Types.Name() != "service" {
+	// service and the fleet (coordinator, dispatch queue, registry, worker);
+	// other packages have their own (checked dynamically).
+	switch pass.Pkg.Types.Name() {
+	case "service", "fleet":
+	default:
 		return nil
 	}
 	for _, f := range pass.Files {

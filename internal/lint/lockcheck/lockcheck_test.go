@@ -10,3 +10,7 @@ import (
 func TestLockcheck(t *testing.T) {
 	linttest.Run(t, lockcheck.Analyzer, "testdata/src/service")
 }
+
+func TestLockcheckFleet(t *testing.T) {
+	linttest.Run(t, lockcheck.Analyzer, "testdata/src/fleet")
+}

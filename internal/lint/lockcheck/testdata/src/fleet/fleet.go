@@ -1,0 +1,75 @@
+// Fixture for the lockcheck analyzer's fleet scope: the coordinator's
+// dispatch queue and registry follow the same no-blocking-under-lock rule
+// as the service, with one idiom worth pinning — OnLease/OnDone callbacks
+// are collected under the lock and fired after it is released.
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu    sync.Mutex
+	tasks map[string]func(int)
+	wake  chan struct{}
+}
+
+type worker struct{}
+
+func (worker) Run() {}
+
+// --- violations ---
+
+func (q *queue) wakeUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.wake <- struct{}{} // want `channel send while holding q\.mu`
+}
+
+func (q *queue) sleepUnderLock() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding q\.mu`
+	q.mu.Unlock()
+}
+
+func (q *queue) runWorkerUnderLock(w worker) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	w.Run() // want `call to Run \(runs or waits for work of unbounded duration\) while holding q\.mu`
+}
+
+func (q *queue) waitForWakeUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `select with no default clause while holding q\.mu`
+	case <-q.wake:
+	}
+}
+
+// --- legal shapes ---
+
+// The fleet's callback discipline: collect under the lock, fire after
+// unlock. Invoking a plain func value is not a blocking operation the
+// analyzer models — what it enforces is that sends, sleeps and Run/Wait
+// calls stay out of the critical section, which this shape guarantees for
+// arbitrary callback bodies.
+func (q *queue) completeThenNotify(id string) {
+	q.mu.Lock()
+	cb := q.tasks[id]
+	delete(q.tasks, id)
+	q.mu.Unlock()
+	if cb != nil {
+		cb(1)
+	}
+}
+
+// Non-blocking wake with a default clause is the queue's legal notify.
+func (q *queue) tryWake() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
