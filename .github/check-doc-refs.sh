@@ -49,6 +49,26 @@ elif [ "$routes_code" != "$routes_doc" ]; then
   fail=1
 fi
 
+# 4. Every analyzer the smtlint driver registers must be documented: a
+#    backticked name in the README analyzer table and a mention in
+#    DESIGN.md §9. The list is derived from `smtlint -list`, so adding
+#    an analyzer without documenting it fails here.
+analyzer_names="$(go run ./cmd/smtlint -list | awk '{print $1}')"
+if [ -z "$analyzer_names" ]; then
+  echo "smtlint -list produced no analyzers (check-doc-refs.sh pattern rot?)" >&2
+  fail=1
+fi
+for a in $analyzer_names; do
+  if ! grep -q "\`$a\`" README.md; then
+    echo "analyzer $a is registered in cmd/smtlint but missing from the README analyzer table" >&2
+    fail=1
+  fi
+  if ! grep -q "$a" DESIGN.md; then
+    echo "analyzer $a is registered in cmd/smtlint but never mentioned in DESIGN.md" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "doc references OK"
 fi

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// A finding is one diagnostic in the driver's output shape (module-relative
+// file, 1-based line/column).
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// A baselineEntry suppresses one known finding until Expires. Line numbers
+// are deliberately NOT part of the match — refactors move lines constantly —
+// so an entry matches on analyzer + file + message text.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Expires is a date (YYYY-MM-DD). Past it, the entry stops
+	// suppressing: baselined debt must be paid or consciously renewed,
+	// never silently carried forever.
+	Expires string `json:"expires"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+type baseline struct {
+	Entries []baselineEntry `json:"entries"`
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if _, err := time.Parse("2006-01-02", e.Expires); err != nil {
+			return nil, fmt.Errorf("baseline %s entry %d: bad expires %q (want YYYY-MM-DD)", path, i, e.Expires)
+		}
+	}
+	return &b, nil
+}
+
+func saveBaseline(path string, findings []finding) error {
+	expiry := time.Now().AddDate(0, 0, 90).Format("2006-01-02")
+	b := baseline{Entries: []baselineEntry{}}
+	for _, f := range findings {
+		b.Entries = append(b.Entries, baselineEntry{
+			Analyzer: f.Analyzer,
+			File:     f.File,
+			Message:  f.Message,
+			Expires:  expiry,
+		})
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// applyBaseline splits findings into fresh (to report) and suppressed,
+// and returns warnings for expired entries and for entries that matched
+// nothing (fixed but not removed). Each entry suppresses at most as many
+// findings as it is listed — duplicate findings need duplicate entries —
+// so a baseline can never hide more than it declares.
+func applyBaseline(b *baseline, findings []finding, now time.Time) (fresh []finding, warnings []string) {
+	if b == nil {
+		return findings, nil
+	}
+	type matchKey struct{ analyzer, file, message string }
+	budget := map[matchKey]int{}
+	expired := map[matchKey]bool{}
+	for _, e := range b.Entries {
+		k := matchKey{e.Analyzer, e.File, e.Message}
+		exp, _ := time.Parse("2006-01-02", e.Expires)
+		if now.After(exp.AddDate(0, 0, 1)) {
+			expired[k] = true
+			continue
+		}
+		budget[k]++
+	}
+	used := map[matchKey]int{}
+	for _, f := range findings {
+		k := matchKey{f.Analyzer, f.File, f.Message}
+		if used[k] < budget[k] {
+			used[k]++
+			continue
+		}
+		if expired[k] {
+			warnings = append(warnings, fmt.Sprintf(
+				"baseline entry for %s in %s has expired; fix the finding or renew the entry", f.Analyzer, f.File))
+		}
+		fresh = append(fresh, f)
+	}
+	for k, n := range budget {
+		if used[k] < n {
+			warnings = append(warnings, fmt.Sprintf(
+				"baseline entry fixed but not removed: %s in %s (%q)", k.analyzer, k.file, k.message))
+		}
+	}
+	return fresh, warnings
+}

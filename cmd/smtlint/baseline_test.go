@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func day(s string) time.Time {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestApplyBaselineSuppressesByMessage(t *testing.T) {
+	b := &baseline{Entries: []baselineEntry{
+		{Analyzer: "detcheck", File: "a/a.go", Message: "msg", Expires: "2099-01-01"},
+	}}
+	findings := []finding{
+		{Analyzer: "detcheck", File: "a/a.go", Line: 10, Message: "msg"},
+		{Analyzer: "detcheck", File: "a/a.go", Line: 20, Message: "other"},
+	}
+	fresh, warnings := applyBaseline(b, findings, day("2026-01-01"))
+	if len(fresh) != 1 || fresh[0].Message != "other" {
+		t.Fatalf("fresh = %+v, want only the unmatched finding", fresh)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warnings = %v, want none", warnings)
+	}
+}
+
+func TestApplyBaselineBudget(t *testing.T) {
+	// One entry suppresses ONE matching finding; a second identical
+	// finding stays fresh, so a baseline can never hide more than it
+	// declares.
+	b := &baseline{Entries: []baselineEntry{
+		{Analyzer: "errflow", File: "a.go", Message: "dup", Expires: "2099-01-01"},
+	}}
+	findings := []finding{
+		{Analyzer: "errflow", File: "a.go", Line: 1, Message: "dup"},
+		{Analyzer: "errflow", File: "a.go", Line: 2, Message: "dup"},
+	}
+	fresh, _ := applyBaseline(b, findings, day("2026-01-01"))
+	if len(fresh) != 1 {
+		t.Fatalf("fresh = %+v, want exactly one (budget exceeded)", fresh)
+	}
+}
+
+func TestApplyBaselineExpired(t *testing.T) {
+	b := &baseline{Entries: []baselineEntry{
+		{Analyzer: "ctxflow", File: "a.go", Message: "old", Expires: "2025-01-01"},
+	}}
+	findings := []finding{{Analyzer: "ctxflow", File: "a.go", Message: "old"}}
+	fresh, warnings := applyBaseline(b, findings, day("2026-01-01"))
+	if len(fresh) != 1 {
+		t.Fatalf("expired entry must stop suppressing; fresh = %+v", fresh)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "expired") {
+		t.Fatalf("warnings = %v, want one expiry warning", warnings)
+	}
+}
+
+func TestApplyBaselineFixedButNotRemoved(t *testing.T) {
+	b := &baseline{Entries: []baselineEntry{
+		{Analyzer: "noalloc", File: "gone.go", Message: "fixed", Expires: "2099-01-01"},
+	}}
+	fresh, warnings := applyBaseline(b, nil, day("2026-01-01"))
+	if len(fresh) != 0 {
+		t.Fatalf("fresh = %+v, want none", fresh)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "fixed but not removed") {
+		t.Fatalf("warnings = %v, want one fixed-but-not-removed warning", warnings)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bl.json")
+	fs := []finding{
+		{Analyzer: "detcheck", File: "x.go", Line: 3, Column: 1, Message: "m"},
+	}
+	if err := saveBaseline(path, fs); err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 1 || b.Entries[0].Analyzer != "detcheck" || b.Entries[0].Message != "m" {
+		t.Fatalf("entries = %+v", b.Entries)
+	}
+	if _, err := time.Parse("2006-01-02", b.Entries[0].Expires); err != nil {
+		t.Fatalf("bad expiry stamp %q: %v", b.Entries[0].Expires, err)
+	}
+	fresh, _ := applyBaseline(b, fs, time.Now())
+	if len(fresh) != 0 {
+		t.Fatalf("round-tripped baseline must suppress its own findings; fresh = %+v", fresh)
+	}
+}
+
+func TestLoadBaselineRejectsBadExpiry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bl.json")
+	writeFile(t, path, `{"entries":[{"analyzer":"a","file":"f","message":"m","expires":"soon"}]}`)
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("want error for non-date expiry")
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	var sb strings.Builder
+	fs := []finding{{Analyzer: "detcheck", File: "a/b.go", Line: 7, Column: 2, Message: "nondeterministic"}}
+	if err := writeSARIF(&sb, analyzers, fs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`"version": "2.1.0"`,
+		`"ruleId": "detcheck"`,
+		`"uri": "a/b.go"`,
+		`"startLine": 7`,
+		`"uriBaseId": "%SRCROOT%"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SARIF output missing %q", want)
+		}
+	}
+	// Every analyzer registers a rule, plus the driver's own.
+	if n := strings.Count(out, `"id": `); n != len(analyzers)+1 {
+		t.Errorf("rule count = %d, want %d", n, len(analyzers)+1)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,19 +9,40 @@
 //	confighash   every Canonical()-hashed config field reaches the store key
 //	lockcheck    no blocking operation under a service mutex
 //	registryref  policy registrations carry Ref/Desc and sane param bounds
+//	detcheck     no nondeterministic values in simulation outputs
+//	ctxflow      long-running loops and entry points observe cancellation
+//	errflow      no dropped or overwritten errors in service/fleet/store
 //
-// Exit status is nonzero when any diagnostic is reported. The tool is pure
-// standard library (this module carries no dependencies), so it runs
-// anywhere the repo builds — no module download, no separate install.
+// Packages are analyzed in parallel (one worker per CPU); type-checking
+// happens once at load and is shared by every analyzer. Output is plain
+// text by default, `-json` for machine consumption, `-sarif` for code
+// scanners. A checked-in baseline (`-baseline`, default
+// .smtlint-baseline.json at the module root when present) suppresses
+// known findings until their expiry date; `-write-baseline` records the
+// current findings with a 90-day expiry. Baseline entries that no longer
+// match anything are reported as fixed-but-not-removed warnings.
+//
+// Exit status is nonzero when any non-baselined diagnostic is reported.
+// The tool is pure standard library (this module carries no
+// dependencies), so it runs anywhere the repo builds — no module
+// download, no separate install.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"clustersmt/internal/lint"
 	"clustersmt/internal/lint/confighash"
+	"clustersmt/internal/lint/ctxflow"
+	"clustersmt/internal/lint/detcheck"
+	"clustersmt/internal/lint/errflow"
 	"clustersmt/internal/lint/lockcheck"
 	"clustersmt/internal/lint/noalloc"
 	"clustersmt/internal/lint/registryref"
@@ -32,12 +53,19 @@ var analyzers = []*lint.Analyzer{
 	confighash.Analyzer,
 	lockcheck.Analyzer,
 	registryref.Analyzer,
+	detcheck.Analyzer,
+	ctxflow.Analyzer,
+	errflow.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
+	baselinePath := flag.String("baseline", "", "baseline file (default: .smtlint-baseline.json at the module root, if present)")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to the baseline file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: smtlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: smtlint [-list] [-json|-sarif] [-baseline file] [-write-baseline] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Packages default to ./... relative to the current directory.\n")
 		flag.PrintDefaults()
 	}
@@ -57,17 +85,89 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smtlint:", err)
 		os.Exit(2)
 	}
-	bad := 0
+
+	var findings []finding
 	for _, pos := range m.BadAllows() {
-		fmt.Printf("%s: //smtlint:allow requires a reason [smtlint]\n", pos)
-		bad++
+		findings = append(findings, finding{
+			Analyzer: "smtlint",
+			File:     relToRoot(m.Root, pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  "//smtlint:allow requires a reason",
+		})
 	}
-	for _, d := range lint.Run(m, analyzers) {
-		fmt.Println(d)
-		bad++
+	for _, d := range lint.RunConcurrent(context.Background(), m, analyzers, runtime.GOMAXPROCS(0)) {
+		findings = append(findings, finding{
+			Analyzer: d.Analyzer,
+			File:     relToRoot(m.Root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s)\n", bad)
+
+	path := *baselinePath
+	if path == "" {
+		def := filepath.Join(m.Root, ".smtlint-baseline.json")
+		if _, err := os.Stat(def); err == nil {
+			path = def
+		}
+	}
+
+	if *writeBaseline {
+		if path == "" {
+			path = filepath.Join(m.Root, ".smtlint-baseline.json")
+		}
+		if err := saveBaseline(path, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "smtlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "smtlint: wrote %d finding(s) to %s\n", len(findings), path)
+		return
+	}
+
+	var bl *baseline
+	if path != "" {
+		bl, err = loadBaseline(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smtlint:", err)
+			os.Exit(2)
+		}
+	}
+	fresh, warnings := applyBaseline(bl, findings, time.Now())
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "smtlint: warning:", w)
+	}
+
+	switch {
+	case *sarifOut:
+		writeSARIF(os.Stdout, analyzers, fresh)
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if fresh == nil {
+			fresh = []finding{}
+		}
+		enc.Encode(fresh)
+	default:
+		for _, f := range fresh {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "smtlint: %d finding(s)\n", len(fresh))
 		os.Exit(1)
 	}
+}
+
+// relToRoot renders file paths module-relative (with forward slashes) so
+// baselines and SARIF artifacts are stable across checkouts.
+func relToRoot(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return filepath.ToSlash(rel)
+	}
+	return file
 }

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -160,6 +161,13 @@ func (o *Options) fill() {
 
 // Run executes the suite and returns the report.
 func Run(o Options) (*Report, error) {
+	return RunCtx(context.Background(), o)
+}
+
+// RunCtx is Run with cancellation: the context is polled between
+// benchmarks, so a canceled gate run stops after the benchmark in flight
+// instead of grinding through the rest of the suite.
+func RunCtx(ctx context.Context, o Options) (*Report, error) {
 	o.fill()
 	r := &Report{
 		Schema:    Schema,
@@ -174,6 +182,9 @@ func Run(o Options) (*Report, error) {
 	}
 	r.Host = fingerprint(r)
 	for _, d := range suite() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("bench: canceled: %w", err)
+		}
 		if o.Filter != nil && !o.Filter.MatchString(d.name) {
 			continue
 		}

@@ -180,9 +180,9 @@ func owner(id string, live []string) string {
 	best, bestScore := "", uint64(0)
 	for _, w := range live {
 		h := fnv.New64a()
-		h.Write([]byte(id))
-		h.Write([]byte{0})
-		h.Write([]byte(w))
+		_, _ = h.Write([]byte(id)) // fnv.Write cannot fail
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(w))
 		if s := h.Sum64(); best == "" || s > bestScore {
 			best, bestScore = w, s
 		}

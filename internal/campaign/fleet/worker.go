@@ -193,7 +193,9 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 				w.logf("heartbeat: %v", err)
 			case code == http.StatusNotFound:
 				w.logf("heartbeat: identity %s reaped; re-registering", id)
-				w.register(ctx)
+				if err := w.register(ctx); err != nil {
+					w.logf("re-register: %v", err)
+				}
 			}
 		}
 	}
@@ -292,7 +294,9 @@ func (w *Worker) execute(ctx context.Context, tasks []Task) {
 				w.report(ctx, comp)
 			},
 		}
-		r.RunAllCtx(ctx, specs, p)
+		// Per-item errors already landed in the completions via the
+		// callback; a context cancellation is the loop condition's to see.
+		_, _ = r.RunAllCtx(ctx, specs, p)
 	}
 }
 

@@ -127,7 +127,7 @@ func (s *Store) GC(o GCOptions) (*GCReport, error) {
 	if !o.DryRun {
 		for _, b := range buckets {
 			if b.IsDir() && len(b.Name()) == 2 {
-				os.Remove(filepath.Join(s.dir, b.Name()))
+				_ = os.Remove(filepath.Join(s.dir, b.Name())) // best effort; next GC retries
 			}
 		}
 	}

@@ -66,10 +66,10 @@ func (r *Remote) Get(key string) (*metrics.Stats, bool, error) {
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
-		io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
 		return nil, false, nil
 	default:
-		io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, resp.Body)
 		return nil, false, fmt.Errorf("store: remote get %s: %s", key, resp.Status)
 	}
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
@@ -104,7 +104,7 @@ func (r *Remote) Put(key string, st *metrics.Stats) error {
 		return fmt.Errorf("store: remote put %s: %w", key, err)
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("store: remote put %s: %s", key, resp.Status)
 	}

@@ -574,6 +574,11 @@ func (r *Runner) RunAllCtx(ctx context.Context, specs []Spec, p *Progress) ([]*m
 					onSample = func(s metrics.Sample) { p.Sample(i, s) }
 				}
 				var executed bool
+				// The item index arrives over the work channel, so detcheck
+				// sees goroutine send order flowing into the simulation —
+				// but each item's stats depend only on specs[i], and the
+				// result re-keys deterministically into out[i].
+				//smtlint:allow detcheck: channel-delivered index selects which spec runs, not what it computes; results re-key into out[i]
 				out[i], executed, errs[i] = r.run(ctx, specs[i], onSample)
 				if p != nil && p.Finished != nil {
 					p.Finished(i, out[i], executed, errs[i])

@@ -1,0 +1,311 @@
+// Package ctxflow implements the cancellation-propagation analyzer. The
+// simulator's long-running entry points (campaign engines, fleet workers,
+// the core cycle loop) are expected to be cancelable: RunCtx polls
+// ctx.Err() on a cycle mask, the service loops select on ctx.Done().
+// ctxflow enforces the two rules that keep that property from rotting:
+//
+//  1. Inside a function that receives a context.Context, a long-running
+//     `for` loop must observe the context on some path: reference ctx (or
+//     a value derived from it) in its condition or body, or pass it to a
+//     callee. A loop is long-running when it has no condition (`for {`) or
+//     performs synchronous work (calls, channel operations); loops that
+//     only spawn goroutines (`go w.run()`) are exempt — the spawned work
+//     observes its own context.
+//
+//  2. An exported entry point whose name starts with Run, Serve, or Wait
+//     (word boundary: Run, RunAll — not Runner) that loops or blocks must
+//     accept a context.Context, take an *http.Request (whose Context()
+//     serves), or be a thin forwarding wrapper that hands
+//     context.Background()/TODO() to a context-aware implementation
+//     (`func Run() { return RunCtx(context.Background()) }` is the
+//     documented compatibility shape).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"clustersmt/internal/lint"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: "long-running loops in context-aware functions must observe cancellation, " +
+		"and exported Run/Serve/Wait entry points must accept and forward context.Context",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if ctxObjs := contextParams(pass, fd); len(ctxObjs) > 0 {
+				checkLoopsPoll(pass, fd, ctxObjs)
+			} else {
+				checkEntryPoint(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// contextParams returns the objects of every context.Context parameter.
+func contextParams(pass *lint.Pass, fd *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isContext(obj.Type()) {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// checkLoopsPoll flags long-running `for` loops that never observe the
+// context. Nested function literals are their own scope: a loop inside a
+// literal is judged against the literal (which sees ctx by capture — a
+// lexical reference still counts), but loops containing only spawned work
+// are the literal's responsibility.
+func checkLoopsPoll(pass *lint.Pass, fd *ast.FuncDecl, ctxObjs []types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if !longRunning(pass, loop) {
+			return true
+		}
+		if referencesContext(pass, loop, ctxObjs) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "long-running loop never observes %s; poll ctx.Err() or select on ctx.Done() so cancellation can stop it", ctxParamName(fd, ctxObjs))
+		return true
+	})
+}
+
+func ctxParamName(fd *ast.FuncDecl, ctxObjs []types.Object) string {
+	if len(ctxObjs) > 0 {
+		return ctxObjs[0].Name()
+	}
+	return "ctx"
+}
+
+// longRunning reports whether a for loop plausibly runs unbounded wall
+// time: no condition at all, or synchronous work (a call or channel
+// operation) outside go statements.
+func longRunning(pass *lint.Pass, loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	sync := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false // spawned / deferred-to-literal work is not this loop's
+		case *ast.CallExpr:
+			if !isBuiltinCall(pass, n) {
+				sync = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			sync = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				sync = true
+			}
+		}
+		return !sync
+	})
+	return sync
+}
+
+func isBuiltinCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, builtin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// referencesContext reports whether any identifier inside the loop refers
+// to one of the context parameters or to any context-typed value (a child
+// ctx from context.WithCancel counts).
+func referencesContext(pass *lint.Pass, loop *ast.ForStmt, ctxObjs []types.Object) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, c := range ctxObjs {
+			if obj == c {
+				found = true
+				return false
+			}
+		}
+		if _, isVar := obj.(*types.Var); isVar && isContext(obj.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkEntryPoint applies rule 2 to exported Run/Serve/Wait functions
+// without a context parameter.
+func checkEntryPoint(pass *lint.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !entryPointName(name) || !fd.Name.IsExported() {
+		return
+	}
+	if hasRequestParam(pass, fd) {
+		return // r.Context() is available; http.Handler shapes can't change
+	}
+	if hasTestingParam(pass, fd) {
+		return // test helpers run under the framework's own deadline
+	}
+	if !looksLongRunning(pass, fd.Body) {
+		return
+	}
+	if forwardsBackground(pass, fd.Body) {
+		return // documented compatibility wrapper: Run() -> RunCtx(context.Background(), ...)
+	}
+	pass.Reportf(fd.Pos(), "exported entry point %s looks long-running but has no context.Context parameter; accept a context and forward it", name)
+}
+
+// entryPointName matches Run/Serve/Wait at a word boundary: Run, RunAll,
+// ServeHTTP — but not Runner or Waiting... (lowercase continuation means
+// the prefix is part of a longer word).
+func entryPointName(name string) bool {
+	for _, prefix := range [...]string{"Run", "Serve", "Wait"} {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if rest == "" || !unicode.IsLower(rune(rest[0])) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasRequestParam(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := types.Unalias(tv.Type)
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if n, ok := types.Unalias(p.Elem()).(*types.Named); ok {
+			o := n.Obj()
+			if o.Name() == "Request" && o.Pkg() != nil && o.Pkg().Path() == "net/http" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasTestingParam reports whether fd takes a *testing.T / *testing.B /
+// *testing.F: test helpers are driven (and killed) by the test framework,
+// so cancellation plumbing would be dead weight.
+func hasTestingParam(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		p, ok := types.Unalias(tv.Type).(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if n, ok := types.Unalias(p.Elem()).(*types.Named); ok {
+			o := n.Obj()
+			if o.Pkg() != nil && o.Pkg().Path() == "testing" {
+				switch o.Name() {
+				case "T", "B", "F":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// looksLongRunning: the body loops or blocks on channels.
+func looksLongRunning(pass *lint.Pass, body *ast.BlockStmt) bool {
+	long := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SendStmt:
+			long = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				long = true
+			}
+		}
+		return !long
+	})
+	return long
+}
+
+// forwardsBackground reports whether the body hands context.Background()
+// or context.TODO() to some callee — the thin-wrapper escape hatch.
+func forwardsBackground(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		for _, arg := range call.Args {
+			inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				continue
+			}
+			if obj.Pkg().Path() == "context" && (obj.Name() == "Background" || obj.Name() == "TODO") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	o := n.Obj()
+	return o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context"
+}

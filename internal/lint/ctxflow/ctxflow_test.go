@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"clustersmt/internal/lint/ctxflow"
+	"clustersmt/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/ctxloop")
+}

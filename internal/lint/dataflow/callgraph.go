@@ -1,0 +1,102 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"sync"
+
+	"clustersmt/internal/lint"
+	"clustersmt/internal/lint/cfg"
+)
+
+// An Fn is one module-local function: its object, syntax, owning package,
+// and control-flow graph.
+type Fn struct {
+	Obj  *types.Func
+	Pkg  *lint.Package
+	Decl *ast.FuncDecl
+	G    *cfg.Graph
+}
+
+// Funcs indexes every function declared in a loaded module (targets AND
+// in-module dependencies), giving analyzers a module-local call graph: a
+// call site resolved through StaticCallee to an Fn here is an intra-module
+// edge; anything else is stdlib or dynamic.
+type Funcs struct {
+	ByObj map[*types.Func]*Fn
+	// All lists the functions in deterministic order (package path, then
+	// file position) so fixpoints over summaries iterate reproducibly.
+	All []*Fn
+}
+
+// funcsCache maps *lint.Module to a once-guarded *Funcs so concurrent
+// analyzers share one index and only one goroutine pays for building it.
+var funcsCache sync.Map
+
+type funcsEntry struct {
+	once sync.Once
+	fs   *Funcs
+}
+
+// ModuleFuncs builds (or returns the cached) function index for m. The
+// index is immutable once built, so concurrent analyzers share one copy.
+func ModuleFuncs(m *lint.Module) *Funcs {
+	v, _ := funcsCache.LoadOrStore(m, &funcsEntry{})
+	e := v.(*funcsEntry)
+	e.once.Do(func() { e.fs = buildFuncs(m) })
+	return e.fs
+}
+
+func buildFuncs(m *lint.Module) *Funcs {
+	fs := &Funcs{ByObj: map[*types.Func]*Fn{}}
+	paths := make([]string, 0, len(m.Pkgs))
+	for p := range m.Pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pkg := m.Pkgs[path]
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &Fn{Obj: obj, Pkg: pkg, Decl: fd}
+				fn.G = cfg.New(obj.FullName(), fd.Body)
+				fs.ByObj[obj] = fn
+				fs.All = append(fs.All, fn)
+			}
+		}
+	}
+	return fs
+}
+
+// StaticCallee resolves a call expression to the *types.Func it statically
+// invokes: package functions, methods (through selectors), and generic
+// instantiations. Returns nil for builtins, conversions, and calls through
+// function-typed values.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation: f[T](...) parses as IndexExpr/IndexListExpr.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

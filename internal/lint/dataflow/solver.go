@@ -1,0 +1,122 @@
+// Package dataflow layers flow-sensitive analysis on top of the CFGs from
+// internal/lint/cfg: a generic forward fixpoint solver, a module-local
+// function index / call-graph, and the determinism taint engine behind the
+// detcheck analyzer (sources: map-iteration order, wall clock, unseeded
+// math/rand, goroutine-send order; sinks: metrics.Stats and campaign
+// Result fields, report emitters, store cache keys, HTTP response writes).
+//
+// Everything is standard library only — the module's go.sum stays empty —
+// so the solver is deliberately plain: a worklist over basic blocks in
+// reverse postorder, re-running transfer functions until the facts stop
+// changing. Function bodies are small (the module-wide CFG smoke test
+// counts a median of well under 20 blocks), so simplicity wins over
+// anything asymptotically clever.
+package dataflow
+
+import "clustersmt/internal/lint/cfg"
+
+// A Problem defines one forward dataflow problem over a function graph.
+// F is the per-block fact type (typically a map, with the zero value as
+// bottom).
+type Problem[F any] interface {
+	// Boundary is the fact entering the function's entry block.
+	Boundary() F
+
+	// Transfer computes the fact leaving block b given the fact entering
+	// it. It must not mutate in.
+	Transfer(b *cfg.Block, in F) F
+
+	// Join merges src into acc, returning the merged fact and whether it
+	// differs from acc. acc is F's zero value for the first predecessor —
+	// implementations initialize from src there (this makes intersection
+	// joins for must-analyses expressible: the zero value means "no path
+	// seen yet", not "empty set").
+	Join(acc F, src F) (F, bool)
+
+	// Equal reports whether two facts are equal; it bounds the fixpoint.
+	Equal(a, b F) bool
+}
+
+// Facts holds the solved fixpoint, indexed by cfg Block index.
+type Facts[F any] struct {
+	In  []F
+	Out []F
+}
+
+// Forward solves p over g to a fixpoint and returns the per-block facts.
+func Forward[F any](g *cfg.Graph, p Problem[F]) Facts[F] {
+	n := len(g.Blocks)
+	facts := Facts[F]{In: make([]F, n), Out: make([]F, n)}
+	done := make([]bool, n)
+
+	// Reverse postorder: processing dominators-first means most blocks
+	// settle in one or two rounds.
+	order := rpo(g)
+	inWork := make([]bool, n)
+	work := make([]*cfg.Block, 0, n)
+	for _, b := range order {
+		work = append(work, b)
+		inWork[b.Index] = true
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		var in F
+		if b == g.Entry {
+			in = p.Boundary()
+		} else {
+			for _, pred := range b.Preds {
+				if !done[pred.Index] {
+					continue
+				}
+				in, _ = p.Join(in, facts.Out[pred.Index])
+			}
+		}
+		facts.In[b.Index] = in
+		out := p.Transfer(b, in)
+		if done[b.Index] && p.Equal(facts.Out[b.Index], out) {
+			continue
+		}
+		facts.Out[b.Index] = out
+		done[b.Index] = true
+		for _, s := range b.Succs {
+			if !inWork[s.Index] {
+				work = append(work, s)
+				inWork[s.Index] = true
+			}
+		}
+	}
+	return facts
+}
+
+// rpo returns g's blocks in reverse postorder from Entry. Blocks kept for
+// structural reasons but unreachable (a `for {}` body's Exit) are appended
+// at the end so every index has a fact slot.
+func rpo(g *cfg.Graph) []*cfg.Block {
+	seen := make([]bool, len(g.Blocks))
+	post := make([]*cfg.Block, 0, len(g.Blocks))
+	var dfs func(b *cfg.Block)
+	dfs = func(b *cfg.Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	out := make([]*cfg.Block, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for _, b := range g.Blocks {
+		if !seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+// Package detcheck implements the determinism analyzer: it reports values
+// derived from nondeterministic sources — map iteration order, goroutine
+// send order, wall-clock reads (time.Now/Since/Until), unseeded
+// package-level math/rand — that flow into the simulator's observable
+// outputs: metrics.Stats and campaign Result fields, report emitters,
+// store cache keys, and HTTP response writes (Prometheus text, SSE
+// frames).
+//
+// The analysis is the taint engine in internal/lint/dataflow: a forward
+// dataflow problem over each function's CFG, with call-graph summaries so
+// a helper returning unsorted map keys taints its callers. Extracting keys
+// and sorting them (sort.Strings, slices.Sorted) sanitizes order taint, as
+// does re-keying into a map (`m[k] = v` — final contents are independent
+// of write order) and folding into an integer accumulator (`n += v` over a
+// full iteration is commutative). Float accumulators stay tainted: FP
+// addition is not associative, so a map-ordered float sum genuinely
+// changes between runs.
+package detcheck
+
+import (
+	"clustersmt/internal/lint"
+	"clustersmt/internal/lint/dataflow"
+)
+
+// Analyzer is the detcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "detcheck",
+	Doc: "report nondeterministic values (map iteration order, goroutine send order, " +
+		"wall clock, unseeded math/rand) flowing into simulation outputs: metrics.Stats " +
+		"and campaign Result fields, report emitters, store cache keys, HTTP responses",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	type key struct {
+		pos  int
+		msg  string
+		sink string
+	}
+	seen := map[key]bool{}
+	for _, f := range dataflow.DetFindings(pass.Module, pass.Pkg) {
+		k := key{int(f.Pos), f.Kinds.String(), f.Sink}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pass.Reportf(f.Pos, "nondeterministic value (%s) reaches %s", f.Kinds, f.Sink)
+	}
+	return nil
+}

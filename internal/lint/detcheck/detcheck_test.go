@@ -1,0 +1,12 @@
+package detcheck_test
+
+import (
+	"testing"
+
+	"clustersmt/internal/lint/detcheck"
+	"clustersmt/internal/lint/linttest"
+)
+
+func TestDetcheck(t *testing.T) {
+	linttest.Run(t, detcheck.Analyzer, "testdata/src/detsink")
+}

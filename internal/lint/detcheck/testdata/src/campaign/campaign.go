@@ -1,0 +1,8 @@
+// Sibling fixture mirroring the real internal/campaign Result row.
+package campaign
+
+type Result struct {
+	Name  string
+	Seed  int64
+	Order []string
+}

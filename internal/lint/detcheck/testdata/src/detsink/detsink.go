@@ -1,0 +1,189 @@
+// Fixture for the detcheck analyzer: one function per source/sink/
+// sanitizer combination, bug-shaped where flagged and fixed-shaped where
+// clean, so the golden comments pin both directions.
+package detsink
+
+import (
+	"fmt"
+	"io"
+	"maps"
+	"math/rand"
+	"net/http"
+	"os"
+	"slices"
+	"sort"
+	"time"
+
+	"campaign"
+	"metrics"
+	"report"
+	"store"
+)
+
+// --- map iteration order into result fields ---
+
+func unsortedLabels(counts map[string]int) metrics.Stats {
+	var st metrics.Stats
+	var labels []string
+	for name := range counts {
+		labels = append(labels, name)
+	}
+	st.Labels = labels // want `map iteration order.*metrics\.Stats field Labels`
+	return st
+}
+
+func sortedLabels(counts map[string]int) metrics.Stats {
+	var st metrics.Stats
+	var labels []string
+	for name := range counts {
+		labels = append(labels, name)
+	}
+	sort.Strings(labels) // sanitizer: order taint dies here
+	st.Labels = labels
+	return st
+}
+
+func sortedIterator(counts map[string]int) []string {
+	return slices.Sorted(maps.Keys(counts)) // sorted at birth: clean
+}
+
+func unsortedIterator(counts map[string]int, w io.Writer) {
+	for k := range maps.Keys(counts) {
+		report.Lines(w, []string{k}) // want `map iteration order.*report emitter Lines`
+	}
+}
+
+// --- wall clock ---
+
+func stampWall(st *metrics.Stats) {
+	st.Started = time.Now()                 // clean: the field is declared time.Time
+	st.IPC = float64(time.Now().UnixNano()) // want `wall-clock time.*metrics\.Stats field IPC`
+}
+
+// --- math/rand ---
+
+func randomSeed(r *campaign.Result) {
+	r.Seed = rand.Int63() // want `math/rand value.*campaign\.Result field Seed`
+}
+
+func seededGenerator(r *campaign.Result) {
+	src := rand.New(rand.NewSource(42))
+	r.Seed = src.Int63() // clean: explicitly seeded generator
+}
+
+// --- goroutine send order, interprocedural through a summary ---
+
+func collectResults(ch chan string, n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+func emitUnordered(ch chan string) {
+	report.Lines(os.Stdout, collectResults(ch, 3)) // want `goroutine send order.*report emitter Lines`
+}
+
+func emitSorted(ch chan string) {
+	lines := collectResults(ch, 3)
+	sort.Strings(lines)
+	report.Lines(os.Stdout, lines) // clean: sorted after collection
+}
+
+// --- accumulator laundering: integer sums commute, float sums do not ---
+
+func totalInt(counts map[string]int) metrics.Stats {
+	var st metrics.Stats
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	st.Cycles = uint64(total) // clean: integer fold is order-independent
+	return st
+}
+
+func totalFloat(samples map[string]float64) metrics.Stats {
+	var st metrics.Stats
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	st.IPC = sum // want `map iteration order.*metrics\.Stats field IPC`
+	return st
+}
+
+// --- re-keying laundering: final map contents ignore write order ---
+
+func rekeyed(src map[string]int, w io.Writer) {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	report.WriteJSON(w, dst) // clean: plain keyed writes launder order
+}
+
+// Integer counts keyed by arrival are order-independent: the final
+// histogram is the multiset of received values however they arrived.
+func countArrivals(ch chan string, n int) {
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[<-ch]++
+	}
+	report.WriteJSON(os.Stdout, counts) // clean: integer fold is commutative
+}
+
+// Float folds are NOT laundered: FP addition is non-associative, so
+// per-slot totals genuinely depend on the order values arrived in.
+func sumLatencies(ch chan float64, names chan string, n int) {
+	sums := map[string]float64{}
+	for i := 0; i < n; i++ {
+		sums[<-names] += <-ch
+	}
+	report.WriteJSON(os.Stdout, sums) // want `goroutine send order.*report emitter WriteJSON`
+}
+
+// --- store cache keys: every kind gates ---
+
+func cacheStamp(c *store.Cache, b []byte) {
+	key := fmt.Sprintf("run-%d", time.Now().UnixNano())
+	c.Put(key, b) // want `wall-clock time.*store key argument of Put`
+}
+
+func cacheStable(c *store.Cache, name string, b []byte) {
+	c.Put("run-"+name, b) // clean: key derived from inputs only
+}
+
+// --- HTTP response writes: order kinds only ---
+
+func handleDump(w http.ResponseWriter, counts map[string]int) {
+	var lines []string
+	for k, v := range counts {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	fmt.Fprintf(w, "%v\n", lines) // want `map iteration order.*HTTP response write`
+}
+
+func handleRate(w http.ResponseWriter, cycles uint64) {
+	persec := float64(cycles) / time.Since(time.Time{}).Seconds()
+	fmt.Fprintf(w, "rate %g\n", persec) // clean: wall clock is legitimate in responses
+}
+
+// --- parameter sinks: the callee's sink blames the caller's argument ---
+
+func emitTo(w io.Writer, v any) {
+	report.WriteJSON(w, v)
+}
+
+func publish(w io.Writer, counts map[string]int) {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	emitTo(w, keys) // want `map iteration order.*report emitter WriteJSON via call to emitTo`
+}
+
+func publishSorted(w io.Writer, counts map[string]int) {
+	keys := slices.Sorted(maps.Keys(counts))
+	emitTo(w, keys) // clean
+}

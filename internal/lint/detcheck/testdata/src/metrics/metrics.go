@@ -1,0 +1,12 @@
+// Sibling fixture mirroring the real internal/metrics package's shape:
+// detcheck matches the Stats sink by package and type name.
+package metrics
+
+import "time"
+
+type Stats struct {
+	Cycles  uint64
+	IPC     float64
+	Labels  []string
+	Started time.Time
+}

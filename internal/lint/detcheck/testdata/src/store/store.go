@@ -1,0 +1,9 @@
+// Sibling fixture standing in for the result store: parameters named
+// "key" are content-address cache keys and must be deterministic.
+package store
+
+type Cache struct{}
+
+func (c *Cache) Put(key string, data []byte) { _ = key; _ = data }
+
+func Get(key string) []byte { _ = key; return nil }

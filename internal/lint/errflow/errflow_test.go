@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"clustersmt/internal/lint/errflow"
+	"clustersmt/internal/lint/linttest"
+)
+
+func TestErrflow(t *testing.T) {
+	linttest.Run(t, errflow.Analyzer, "testdata/src/service")
+}

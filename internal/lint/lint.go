@@ -27,12 +27,14 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer describes one static check.
@@ -97,26 +99,60 @@ func (p *Pass) Noalloc(fn *types.Func) bool {
 // diagnostics sorted by position. Analyzers see every loaded package via
 // pass.Module but report only on the targets.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range m.Targets {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      m.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg,
-				TypesInfo: pkg.Info,
-				Module:    m,
-				diags:     &diags,
-			}
-			if err := a.Run(pass); err != nil {
-				diags = append(diags, Diagnostic{
-					Analyzer: a.Name,
-					Pos:      token.Position{Filename: pkg.Path},
-					Message:  fmt.Sprintf("analyzer failed: %v", err),
-				})
-			}
+	return RunConcurrent(context.Background(), m, analyzers, 1)
+}
+
+// RunConcurrent is Run with target packages analyzed by up to workers
+// goroutines. Type-checking happened once at load time and the module is
+// read-only during analysis (directive bookkeeping is mutex-guarded;
+// the dataflow package's module-level indexes are built once behind
+// sync.Once), so packages are embarrassingly parallel. Diagnostics
+// collect per-package and merge into one deterministically sorted slice,
+// so output order never depends on scheduling. A context cancellation
+// stops dispatching new packages; diagnostics already produced are
+// returned (partial output is marked by the caller's ctx.Err()).
+func RunConcurrent(ctx context.Context, m *Module, analyzers []*Analyzer, workers int) []Diagnostic {
+	if workers < 1 {
+		workers = 1
+	}
+	perPkg := make([][]Diagnostic, len(m.Targets))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range m.Targets {
+		if ctx.Err() != nil {
+			break
 		}
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var diags []Diagnostic
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      m.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg,
+					TypesInfo: pkg.Info,
+					Module:    m,
+					diags:     &diags,
+				}
+				if err := a.Run(pass); err != nil {
+					diags = append(diags, Diagnostic{
+						Analyzer: a.Name,
+						Pos:      token.Position{Filename: pkg.Path},
+						Message:  fmt.Sprintf("analyzer failed: %v", err),
+					})
+				}
+			}
+			perPkg[i] = diags
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -143,7 +179,11 @@ type allowDirective struct {
 // allowed reports whether diagnostics on file:line are suppressed. A
 // directive suppresses its own line and the line directly below (so it can
 // sit either trailing the offending code or on its own line above it).
+// Safe for concurrent use: RunConcurrent analyzes packages in parallel and
+// every Reportf lands here.
 func (m *Module) allowed(file string, line int) bool {
+	m.allowMu.Lock()
+	defer m.allowMu.Unlock()
 	for _, l := range []int{line, line - 1} {
 		if d, ok := m.allows[allowKey{file, l}]; ok && d.reason != "" {
 			d.used = true

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one type-checked package: syntax plus type information.
@@ -41,13 +42,15 @@ type Module struct {
 	// //smtlint:noalloc, across all loaded packages.
 	Noalloc map[*types.Func]bool
 
+	allowMu   sync.Mutex
 	allows    map[allowKey]*allowDirective
 	badAllows []token.Position
 
-	goVersion string
-	std       types.Importer
-	loading   map[string]bool
-	typeErrs  []error
+	goVersion  string
+	fixtureDir string // parent of the fixture package dir in LoadDir mode
+	std        types.Importer
+	loading    map[string]bool
+	typeErrs   []error
 }
 
 // Load type-checks the module rooted at (or above) dir and returns it with
@@ -119,6 +122,7 @@ func LoadDir(dir string) (*Module, error) {
 	}
 	m := newModule()
 	m.goVersion = "go1.24"
+	m.fixtureDir = filepath.Dir(abs)
 	pkg, err := m.loadPackage(filepath.Base(abs), abs)
 	if err != nil {
 		return nil, err
@@ -223,10 +227,10 @@ func (m *Module) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
-	if m.Path == "" && !strings.Contains(path, "/") && len(m.Targets) > 0 {
+	if m.fixtureDir != "" && !strings.Contains(path, "/") {
 		// Fixture mode: a bare import resolves to a sibling fixture
 		// directory when one exists.
-		sibling := filepath.Join(filepath.Dir(m.Targets[0].Dir), path)
+		sibling := filepath.Join(m.fixtureDir, path)
 		if hasGoFiles(sibling) {
 			pkg, err := m.loadPackage(path, sibling)
 			if err != nil {

@@ -10,13 +10,21 @@
 // Run/Wait-style calls, and http.ResponseWriter writes performed between a
 // Lock and its Unlock in the same function.
 //
-// The analysis is intraprocedural and optimistic about branches: an early
-// `if ... { mu.Unlock(); return }` does not leak the unlock past the if,
-// and a lock is considered released after a conditional unlock on any
-// non-terminating path (avoiding false positives at the cost of missing
-// contrived conditional-hold shapes). Send/receive cases of a select that
-// has a default clause are non-blocking by construction and are not
-// flagged — Submit's queue admission depends on exactly that shape.
+// The analysis is a must-hold dataflow problem over each function's CFG
+// (internal/lint/cfg): a lock is held at a program point only if it is
+// held on EVERY path reaching it, computed by the forward solver under an
+// intersection join. Early-unlock-and-return branches, conditional
+// unlocks, and deferred unlocks all fall out of the graph shape — the
+// defer chain runs on exit edges, so a deferred Unlock never releases the
+// critical section early — where the previous AST walk needed
+// terminates()/intersect() heuristics. When two paths acquire the same
+// lock at different sites, the join keeps the acquisition that dominates
+// the other (the one that program-order precedes the merge). Send/receive
+// cases of a select that has a default clause are non-blocking by
+// construction and are not flagged — Submit's queue admission depends on
+// exactly that shape. Function literals run on their own goroutine or
+// call stack, so each body is analyzed as a fresh scope with no inherited
+// locks.
 package lockcheck
 
 import (
@@ -27,6 +35,8 @@ import (
 	"strings"
 
 	"clustersmt/internal/lint"
+	"clustersmt/internal/lint/cfg"
+	"clustersmt/internal/lint/dataflow"
 )
 
 // Analyzer is the lockcheck check.
@@ -59,29 +69,26 @@ func run(pass *lint.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+		for _, fg := range cfg.BuildAll([]*ast.File{f}) {
+			if fg.Body == nil {
 				continue
 			}
-			c := &checker{pass: pass}
-			c.walk(fn.Body.List, held{})
-			// Function literals run on their own goroutine or call stack;
-			// each body is a fresh scope with no inherited locks.
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				if lit, ok := n.(*ast.FuncLit); ok {
-					c.walk(lit.Body.List, held{})
-					return false
-				}
-				return true
-			})
+			check(pass, fg.Graph)
 		}
 	}
 	return nil
 }
 
+// lockFact is one held lock: where it was acquired, and in which block
+// (for the dominator-based merge).
+type lockFact struct {
+	pos   token.Pos
+	block int
+}
+
 // held tracks mutexes currently locked, keyed by receiver expression text.
-type held map[string]token.Pos
+// nil is bottom: no path has reached the point yet.
+type held map[string]lockFact
 
 func (h held) clone() held {
 	c := make(held, len(h))
@@ -100,122 +107,135 @@ func (h held) names() string {
 	return strings.Join(keys, ", ")
 }
 
-type checker struct {
-	pass *lint.Pass
+// problem is the must-hold dataflow problem: facts shrink at joins
+// (intersection), so a lock survives a merge only if every inbound path
+// holds it.
+type problem struct {
+	pass   *lint.Pass
+	g      *cfg.Graph
+	report bool
 }
 
-// walk processes stmts in order, threading the held-lock state through, and
-// returns the state at the end of the sequence.
-func (c *checker) walk(stmts []ast.Stmt, h held) held {
-	for _, stmt := range stmts {
-		h = c.walkStmt(stmt, h)
+func (p *problem) Boundary() held { return held{} }
+
+func (p *problem) Transfer(b *cfg.Block, in held) held {
+	h := in.clone()
+	if p.report && b.Kind == cfg.KindCond {
+		if sel, ok := b.Stmt.(*ast.SelectStmt); ok && len(h) > 0 && !selectHasDefault(sel) {
+			p.reportf(sel.Pos(), "select with no default clause", h)
+		}
+	}
+	for _, n := range b.Nodes {
+		p.node(b, n, h)
 	}
 	return h
 }
 
-func (c *checker) walkStmt(stmt ast.Stmt, h held) held {
-	switch s := stmt.(type) {
+func (p *problem) node(b *cfg.Block, n ast.Node, h held) {
+	switch n := n.(type) {
 	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if key, delta, ok := c.mutexOp(call); ok {
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if key, delta, ok := p.mutexOp(call); ok {
 				if delta > 0 {
-					h[key] = call.Pos()
+					h[key] = lockFact{pos: call.Pos(), block: b.Index}
 				} else {
 					delete(h, key)
 				}
-				return h
+				return
 			}
 		}
-		c.checkBlocking(s, h)
-	case *ast.DeferStmt:
-		// A deferred unlock keeps the lock held to function end (already
-		// modeled); any other deferred call runs at return, outside the
-		// critical sections this pass models.
-		return h
-	case *ast.IfStmt:
-		if s.Init != nil {
-			h = c.walkStmt(s.Init, h)
+		p.checkBlocking(n.X, h)
+	case *ast.CallExpr:
+		// A deferred call, running on the exit path (KindDefer block): a
+		// deferred Unlock releases there — after every statement in the
+		// body — and other deferred work runs outside the critical
+		// sections this pass models, so only the lock effect is applied.
+		if key, delta, ok := p.mutexOp(n); ok && delta < 0 {
+			delete(h, key)
 		}
-		c.checkBlocking(s.Cond, h)
-		thenH := c.walk(s.Body.List, h.clone())
-		if terminates(s.Body.List) {
-			thenH = h
-		}
-		elseH := h
-		if s.Else != nil {
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				elseH = c.walk(e.List, h.clone())
-				if terminates(e.List) {
-					elseH = h
-				}
-			case *ast.IfStmt:
-				elseH = c.walkStmt(e, h.clone())
-			}
-		}
-		return intersect(thenH, elseH)
-	case *ast.BlockStmt:
-		return c.walk(s.List, h)
-	case *ast.LabeledStmt:
-		return c.walkStmt(s.Stmt, h)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			h = c.walkStmt(s.Init, h)
-		}
-		if s.Cond != nil {
-			c.checkBlocking(s.Cond, h)
-		}
-		c.walk(s.Body.List, h.clone()) // body may run zero times
 	case *ast.RangeStmt:
-		if tv, ok := c.pass.TypesInfo.Types[s.X]; ok {
-			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && len(h) > 0 {
-				c.report(s.Pos(), "range over channel", h)
+		// Only the range operand belongs to this block; the body is its
+		// own block downstream.
+		if p.report {
+			if tv, ok := p.pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && len(h) > 0 {
+					p.reportf(n.Pos(), "range over channel", h)
+				}
 			}
 		}
-		c.checkBlocking(s.X, h)
-		c.walk(s.Body.List, h.clone())
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
-		var body *ast.BlockStmt
-		if sw, ok := s.(*ast.SwitchStmt); ok {
-			body = sw.Body
-			if sw.Tag != nil {
-				c.checkBlocking(sw.Tag, h)
-			}
-		} else {
-			body = s.(*ast.TypeSwitchStmt).Body
+		p.checkBlocking(n.X, h)
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			p.checkBlocking(e, h)
 		}
-		for _, cc := range body.List {
-			c.walk(cc.(*ast.CaseClause).Body, h.clone())
-		}
-	case *ast.SelectStmt:
-		hasDefault := false
-		for _, cc := range s.Body.List {
-			if cc.(*ast.CommClause).Comm == nil {
-				hasDefault = true
-			}
-		}
-		if !hasDefault && len(h) > 0 {
-			c.report(s.Pos(), "select with no default clause", h)
-		}
-		for _, cc := range s.Body.List {
-			c.walk(cc.(*ast.CommClause).Body, h.clone())
-		}
+	case *ast.CommClause:
+		// The comm op blocks only when the select has no default, which is
+		// reported once at the select itself.
 	case *ast.GoStmt:
-		return h // the spawned goroutine does not inherit lock ownership
+		// The spawned goroutine does not inherit lock ownership, and its
+		// literal body is analyzed as a fresh scope.
+	case *ast.DeferStmt:
+		// Registration point: effects happen in the KindDefer block.
 	default:
-		c.checkBlocking(stmt, h)
+		p.checkBlocking(n, h)
 	}
-	return h
+}
+
+func (p *problem) Join(acc, src held) (held, bool) {
+	if acc == nil {
+		return src.clone(), len(src) > 0
+	}
+	changed := false
+	for k, av := range acc {
+		sv, ok := src[k]
+		if !ok {
+			delete(acc, k) // released on some path: not must-held
+			changed = true
+			continue
+		}
+		if sv != av && p.g.Dominates(p.g.Blocks[sv.block], p.g.Blocks[av.block]) {
+			// Two acquisition sites merge: attribute the lock to the one
+			// that dominates the other (program-order first on all paths).
+			acc[k] = sv
+			changed = true
+		}
+	}
+	return acc, changed
+}
+
+func (p *problem) Equal(a, b held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func check(pass *lint.Pass, g *cfg.Graph) {
+	p := &problem{pass: pass, g: g}
+	facts := dataflow.Forward[held](g, p)
+	p.report = true
+	for _, b := range g.Blocks {
+		h := facts.In[b.Index]
+		if h == nil {
+			h = held{}
+		}
+		p.Transfer(b, h)
+	}
 }
 
 // mutexOp recognizes calls to sync.Mutex / sync.RWMutex lock methods and
 // returns the receiver expression text as the lock identity.
-func (c *checker) mutexOp(call *ast.CallExpr) (key string, delta int, ok bool) {
+func (p *problem) mutexOp(call *ast.CallExpr) (key string, delta int, ok bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", 0, false
 	}
-	obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	obj, ok := p.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	if !ok {
 		return "", 0, false
 	}
@@ -227,23 +247,23 @@ func (c *checker) mutexOp(call *ast.CallExpr) (key string, delta int, ok bool) {
 }
 
 // checkBlocking reports blocking operations inside node while locks are held.
-func (c *checker) checkBlocking(node ast.Node, h held) {
-	if len(h) == 0 || node == nil {
+func (p *problem) checkBlocking(node ast.Node, h held) {
+	if !p.report || len(h) == 0 || node == nil {
 		return
 	}
 	ast.Inspect(node, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			return false // separate scope, walked with fresh state
+			return false // separate scope, analyzed with fresh state
 		case *ast.SendStmt:
-			c.report(n.Pos(), "channel send", h)
+			p.reportf(n.Pos(), "channel send", h)
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW {
-				c.report(n.Pos(), "channel receive", h)
+				p.reportf(n.Pos(), "channel receive", h)
 			}
 		case *ast.CallExpr:
-			if what := c.blockingCall(n); what != "" {
-				c.report(n.Pos(), what, h)
+			if what := p.blockingCall(n); what != "" {
+				p.reportf(n.Pos(), what, h)
 			}
 		}
 		return true
@@ -251,9 +271,9 @@ func (c *checker) checkBlocking(node ast.Node, h held) {
 }
 
 // blockingCall classifies a call as blocking, returning a description or "".
-func (c *checker) blockingCall(call *ast.CallExpr) string {
+func (p *problem) blockingCall(call *ast.CallExpr) string {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		if obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+		if obj, ok := p.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
 			switch obj.FullName() {
 			case "time.Sleep":
 				return "time.Sleep"
@@ -265,12 +285,12 @@ func (c *checker) blockingCall(call *ast.CallExpr) string {
 				}
 			}
 		}
-		if c.isStreamWriter(sel.X) {
+		if p.isStreamWriter(sel.X) {
 			return "http.ResponseWriter method call (a slow client blocks the write)"
 		}
 	}
 	for _, arg := range call.Args {
-		if c.isStreamWriter(arg) {
+		if p.isStreamWriter(arg) {
 			return "call passing an http.ResponseWriter (a slow client blocks the write)"
 		}
 	}
@@ -279,8 +299,8 @@ func (c *checker) blockingCall(call *ast.CallExpr) string {
 
 // isStreamWriter reports whether expr's static type is net/http's
 // ResponseWriter or Flusher interface.
-func (c *checker) isStreamWriter(expr ast.Expr) bool {
-	tv, ok := c.pass.TypesInfo.Types[expr]
+func (p *problem) isStreamWriter(expr ast.Expr) bool {
+	tv, ok := p.pass.TypesInfo.Types[expr]
 	if !ok {
 		return false
 	}
@@ -295,37 +315,15 @@ func (c *checker) isStreamWriter(expr ast.Expr) bool {
 	return obj.Name() == "ResponseWriter" || obj.Name() == "Flusher"
 }
 
-func (c *checker) report(pos token.Pos, what string, h held) {
-	c.pass.Reportf(pos, "%s while holding %s", what, h.names())
+func (p *problem) reportf(pos token.Pos, what string, h held) {
+	p.pass.Reportf(pos, "%s while holding %s", what, h.names())
 }
 
-// terminates reports whether a statement list always leaves the function
-// (return or panic) rather than falling through.
-func terminates(stmts []ast.Stmt) bool {
-	if len(stmts) == 0 {
-		return false
-	}
-	switch last := stmts[len(stmts)-1].(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
 		}
-	case *ast.BranchStmt:
-		return last.Tok == token.BREAK || last.Tok == token.CONTINUE || last.Tok == token.GOTO
 	}
 	return false
-}
-
-func intersect(a, b held) held {
-	out := held{}
-	for k, v := range a {
-		if _, ok := b[k]; ok {
-			out[k] = v
-		}
-	}
-	return out
 }

@@ -128,3 +128,37 @@ func TestMutationStepAllocates(t *testing.T) {
 		"func (p *Processor) Step() {\n\tscratch := make([]int, 1)\n\t_ = scratch")
 	requireFinding(t, findings(t, root), "make allocates")
 }
+
+// TestMutationStepWallClock injects a wall-clock-derived value into a
+// Processor.Step statistics write; detcheck must flag it, because golden
+// fingerprints pin every simulated statistic and a time.Now()-derived
+// stat would differ on every run.
+func TestMutationStepWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module copy; skipped in -short")
+	}
+	root := copyModule(t)
+	mutate(t, root, filepath.Join("internal", "core", "run.go"),
+		"\"context\"\n",
+		"\"context\"\n\t\"time\"\n")
+	mutate(t, root, filepath.Join("internal", "core", "run.go"),
+		"func (p *Processor) Step() {",
+		"func (p *Processor) Step() {\n\tp.stats.Cycles += int64(time.Now().Nanosecond())")
+	requireFinding(t, findings(t, root),
+		"wall-clock time) reaches metrics.Stats field Cycles")
+}
+
+// TestMutationCodecDropsError deletes the store codec's Unmarshal error
+// check; errflow must flag the dropped error, because a silently corrupt
+// entry would decode as zero stats instead of a cache miss.
+func TestMutationCodecDropsError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module copy; skipped in -short")
+	}
+	root := copyModule(t)
+	mutate(t, root, filepath.Join("internal", "campaign", "store", "codec.go"),
+		"if err := json.Unmarshal(b, &e); err != nil {\n\t\treturn nil, fmt.Errorf(\"store: corrupt entry %s: %w\", key, err)\n\t}",
+		"json.Unmarshal(b, &e)")
+	requireFinding(t, findings(t, root),
+		"error result of json.Unmarshal is dropped")
+}

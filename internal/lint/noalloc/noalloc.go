@@ -75,6 +75,7 @@ func run(pass *lint.Pass) error {
 				pass:       pass,
 				funcParams: map[types.Object]bool{},
 				directLits: map[*ast.FuncLit]bool{},
+				callFuns:   map[*ast.SelectorExpr]bool{},
 			}
 			c.addFuncParams(fd.Type)
 			c.check(fd.Body)
@@ -95,6 +96,11 @@ type checker struct {
 	// argument or operand: checked recursively instead of flagged as
 	// escaping.
 	directLits map[*ast.FuncLit]bool
+	// callFuns marks selector expressions in call position (p.Step()):
+	// those select a method to INVOKE. A method selector anywhere else
+	// (f := p.Step) is a method VALUE, which allocates a closure binding
+	// the receiver.
+	callFuns map[*ast.SelectorExpr]bool
 }
 
 // addFuncParams records function-typed parameters declared by ft.
@@ -156,6 +162,15 @@ func (c *checker) check(body ast.Node) {
 			c.pass.Reportf(n.Pos(), "go statement allocates a goroutine")
 		case *ast.DeferStmt:
 			c.pass.Reportf(n.Pos(), "defer in a noalloc function; hoist it out of the hot path")
+		case *ast.SelectorExpr:
+			// A method used as a value (f := p.Step) compiles to a closure
+			// binding the receiver — one hidden allocation per evaluation.
+			// In call position the same selector is a direct invocation.
+			if !c.callFuns[n] {
+				if sel, ok := c.pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					c.pass.Reportf(n.Pos(), "method value %s allocates a bound-method closure; call it directly or hoist the binding", sel.Obj().Name())
+				}
+			}
 		}
 		return true
 	})
@@ -186,6 +201,8 @@ func (c *checker) checkCall(call *ast.CallExpr) bool {
 			c.directLits[lit] = true
 		}
 	}
+
+	c.markCallFun(call.Fun)
 
 	obj, sel := c.callee(call.Fun)
 	switch obj := obj.(type) {
@@ -228,6 +245,20 @@ func (c *checker) checkCall(call *ast.CallExpr) bool {
 		c.pass.Reportf(call.Pos(), "dynamic call through function-valued field %s", sel.Obj().Name())
 	}
 	return true
+}
+
+// markCallFun records the selector a call invokes through (unwrapping
+// parens and generic instantiation indexes) so the method-value check can
+// tell invocation from closure-creating uses.
+func (c *checker) markCallFun(fun ast.Expr) {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		c.callFuns[f] = true
+	case *ast.IndexExpr:
+		c.markCallFun(f.X)
+	case *ast.IndexListExpr:
+		c.markCallFun(f.X)
+	}
 }
 
 // callee resolves the called object, unwrapping parens and generic

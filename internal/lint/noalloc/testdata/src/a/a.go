@@ -145,3 +145,23 @@ func panicPath(n int) {
 		panic("negative: " + string(rune(n)))
 	}
 }
+
+// Method values bind their receiver into a hidden closure: `f := p.Step`
+// allocates even though no call happens yet. This was the analyzer's blind
+// spot — the selector only drew attention in call position.
+
+type proc struct{ n int }
+
+//smtlint:noalloc
+func (p *proc) Step() int { return p.n }
+
+//smtlint:noalloc
+func methodValue(p *proc) int {
+	f := p.Step // want `method value Step allocates a bound-method closure`
+	return f()  // want `dynamic call through function value f`
+}
+
+//smtlint:noalloc
+func methodCall(p *proc) int {
+	return p.Step() // direct invocation: no closure, stays silent
+}

@@ -5,6 +5,9 @@ import (
 
 	"clustersmt/internal/lint"
 	"clustersmt/internal/lint/confighash"
+	"clustersmt/internal/lint/ctxflow"
+	"clustersmt/internal/lint/detcheck"
+	"clustersmt/internal/lint/errflow"
 	"clustersmt/internal/lint/lockcheck"
 	"clustersmt/internal/lint/noalloc"
 	"clustersmt/internal/lint/registryref"
@@ -17,6 +20,9 @@ var all = []*lint.Analyzer{
 	confighash.Analyzer,
 	lockcheck.Analyzer,
 	registryref.Analyzer,
+	detcheck.Analyzer,
+	ctxflow.Analyzer,
+	errflow.Analyzer,
 }
 
 // TestRepoIsLintClean runs the full smtlint suite over the repository,
